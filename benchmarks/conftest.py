@@ -1,0 +1,46 @@
+"""Shared configuration for the benchmark harness.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark file regenerates one experiment from DESIGN.md's index (E1–E8).
+Two things happen per file:
+
+* pytest-benchmark times the core construction step (so the timing columns of
+  EXPERIMENTS.md are regenerated), and
+* the full experiment table is printed to stdout (``-s`` not required: the
+  tables are emitted through the ``record_property`` mechanism *and* printed at
+  the end of the run via a session-scoped report collector).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_REPORTS: list[str] = []
+
+
+def record_experiment_report(text: str) -> None:
+    """Collect an experiment report for printing at the end of the session."""
+    _REPORTS.append(text)
+
+
+@pytest.fixture(scope="session")
+def experiment_report_collector():
+    """Fixture handing benchmarks the report collector."""
+    return record_experiment_report
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Print every collected experiment table after the benchmark summary."""
+    if not _REPORTS:
+        return
+    print("\n")
+    print("=" * 78)
+    print("EXPERIMENT TABLES (paper-claim reproductions; see EXPERIMENTS.md)")
+    print("=" * 78)
+    for report in _REPORTS:
+        print()
+        print(report)
+        print("-" * 78)

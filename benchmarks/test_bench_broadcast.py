@@ -1,0 +1,29 @@
+"""E7 — Section 1.1 motivation: broadcast over spanner overlays.
+
+Times the flood broadcast over the greedy-spanner overlay of a random
+geometric network and reports the communication-cost / delivery-delay table
+for the full graph, the MST, the greedy spanner and Baswana–Sen.
+"""
+
+from __future__ import annotations
+
+from repro.core.greedy import greedy_spanner
+from repro.distributed.broadcast import flood_broadcast
+from repro.experiments.experiments import experiment_broadcast
+from repro.graph.generators import random_geometric_graph
+
+
+def test_bench_broadcast_over_greedy_overlay(benchmark, experiment_report_collector):
+    """Time one flood broadcast over the greedy 1.5-spanner of a 150-node network."""
+    graph = random_geometric_graph(150, 0.15, seed=701)
+    overlay = greedy_spanner(graph, 1.5).subgraph
+    source = next(iter(graph.vertices()))
+
+    stats, delivery = benchmark(flood_broadcast, overlay, source)
+    assert len(delivery) == graph.number_of_vertices
+
+    result = experiment_broadcast(n=150)
+    experiment_report_collector(result.render())
+    rows = {row["overlay"]: row for row in result.rows}
+    assert rows["greedy-spanner"]["communication_cost"] < rows["full-graph"]["communication_cost"]
+    assert rows["greedy-spanner"]["delay_stretch"] <= 1.5 + 1e-6

@@ -1,0 +1,34 @@
+"""E6 — the quoted empirical claim: greedy vs the other constructions.
+
+Regenerates the Farshi–Gudmundsson-style comparison the paper cites ("the
+greedy spanner was found to be 10 times sparser and 30 times lighter than any
+other examined spanner"): greedy / approximate-greedy / Θ-graph / WSPD /
+net-tree / MST on the same Euclidean workloads, uniform and clustered.
+"""
+
+from __future__ import annotations
+
+from repro.core.greedy import greedy_spanner_of_metric
+from repro.experiments.experiments import experiment_comparison
+from repro.metric.generators import clustered_points
+
+
+def test_bench_comparison_on_clustered_points(benchmark, experiment_report_collector):
+    """Time the greedy construction on the clustered workload used in the comparison."""
+    metric = clustered_points(120, 2, clusters=6, seed=601)
+
+    spanner = benchmark(greedy_spanner_of_metric, metric, 1.5)
+    assert spanner.is_valid()
+
+    uniform = experiment_comparison(n=150, stretch=1.5)
+    clustered = experiment_comparison(n=150, stretch=1.5, clustered=True)
+    experiment_report_collector(uniform.render())
+    experiment_report_collector(clustered.render())
+
+    for result in (uniform, clustered):
+        rows = {row["algorithm"]: row for row in result.rows}
+        for name, row in rows.items():
+            if name in ("greedy", "mst"):
+                continue
+            assert row["edges_vs_greedy"] >= 1.0
+            assert row["weight_vs_greedy"] >= 1.0

@@ -1,0 +1,25 @@
+"""E8 — degree: the greedy blow-up vs bounded-degree constructions.
+
+Times the greedy spanner on the star metric (where its degree is n-1, the
+[HM06, Smi09] phenomenon quoted by the paper) and reports the degree table on
+star metrics and Euclidean workloads.
+"""
+
+from __future__ import annotations
+
+from repro.core.greedy import greedy_spanner_of_metric
+from repro.experiments.experiments import experiment_degree
+from repro.metric.generators import star_metric
+
+
+def test_bench_greedy_on_star_metric(benchmark, experiment_report_collector):
+    """Time the greedy (1.5)-spanner of the 120-point star metric (degree 119)."""
+    metric = star_metric(120)
+
+    spanner = benchmark(greedy_spanner_of_metric, metric, 1.5)
+    assert spanner.max_degree == metric.size - 1
+
+    result = experiment_degree(star_sizes=(20, 40, 80, 160), euclidean_sizes=(50, 100, 200))
+    experiment_report_collector(result.render())
+    star_rows = [r for r in result.rows if r["workload"] == "star"]
+    assert all(r["greedy_max_degree"] == r["n"] - 1 for r in star_rows)

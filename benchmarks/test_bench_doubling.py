@@ -1,0 +1,25 @@
+"""E4 — Corollary 10: greedy (1+eps)-spanners of doubling metrics.
+
+Times the exact metric greedy construction on a 200-point planar set and
+reports edges-per-point, degree and lightness across n and eps, against the
+old O(log n) and the new constant lightness shapes.
+"""
+
+from __future__ import annotations
+
+from repro.core.greedy import greedy_spanner_of_metric
+from repro.experiments.experiments import experiment_doubling_metrics
+from repro.metric.generators import uniform_points
+
+
+def test_bench_metric_greedy(benchmark, experiment_report_collector):
+    """Time the greedy (1.5)-spanner of 200 uniform planar points."""
+    metric = uniform_points(200, 2, seed=401)
+
+    spanner = benchmark(greedy_spanner_of_metric, metric, 1.5)
+    assert spanner.number_of_edges <= 6 * metric.size
+
+    result = experiment_doubling_metrics(sizes=(50, 100, 200, 400), epsilons=(0.25, 0.5))
+    experiment_report_collector(result.render())
+    for row in result.rows:
+        assert row["edges_per_point"] <= 8.0

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Approximate-Greedy (Section 5): near-greedy quality at a fraction of the work.
+
+Builds (1+ε)-spanners of growing Euclidean point sets two ways:
+
+* the exact greedy algorithm, which examines all n(n-1)/2 interpoint
+  distances, and
+* Algorithm Approximate-Greedy, which starts from a bounded-degree base
+  spanner (Θ-graph here, the substrate of the original Euclidean algorithm of
+  Das–Narasimhan / Gudmundsson et al.) and simulates the greedy algorithm on
+  a coarse cluster graph,
+
+and prints the quality (edges, lightness, degree) and work (distance-query
+counts, wall-clock) side by side.  The shape to look for is the paper's
+Theorem 6: quality within a constant factor, work dropping from quadratic to
+near-linear.
+
+Run with::
+
+    python examples/approximate_greedy_demo.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import approximate_greedy_spanner
+from repro.core.greedy import greedy_spanner_of_metric
+from repro.experiments.reporting import render_table
+from repro.metric.generators import uniform_points
+
+
+def main() -> None:
+    epsilon = 0.5
+    rows = []
+    for n in (50, 100, 200, 400):
+        metric = uniform_points(n, 2, seed=100 + n)
+
+        start = time.perf_counter()
+        exact = greedy_spanner_of_metric(metric, 1.0 + epsilon)
+        exact_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        approx = approximate_greedy_spanner(metric, epsilon, base="theta")
+        approx_seconds = time.perf_counter() - start
+
+        rows.append(
+            {
+                "n": n,
+                "exact edges": exact.number_of_edges,
+                "approx edges": approx.number_of_edges,
+                "exact lightness": exact.lightness(),
+                "approx lightness": approx.lightness(),
+                "exact degree": exact.max_degree,
+                "approx degree": approx.max_degree,
+                "exact queries": exact.metadata["distance_queries"],
+                "approx queries": approx.metadata["approximate_queries"],
+                "exact sec": exact_seconds,
+                "approx sec": approx_seconds,
+            }
+        )
+
+    print(render_table(rows, title=f"Exact greedy vs Approximate-Greedy (epsilon={epsilon})"))
+    print()
+    print(
+        "Quality stays within a small constant factor while the exact algorithm's "
+        "distance-query count grows quadratically and the approximate one's stays "
+        "near-linear — Theorem 6 of the paper in action."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Broadcast in a wireless-style network over different overlays.
+
+The paper's Section 1.1 motivates light, sparse, low-degree spanners with
+distributed applications: broadcast cost tracks the overlay's total weight,
+delivery speed tracks its stretch, and per-node load tracks its degree.  This
+example builds a random geometric ("wireless") network and floods a message
+from one node over four overlays:
+
+* the full network (fastest, most expensive),
+* the MST (cheapest, slowest),
+* the greedy 1.5-spanner (the paper's sweet spot),
+* a Baswana–Sen 3-spanner (a sparse but heavier baseline).
+
+It also prints the per-pulse cost of running a synchronizer on each overlay.
+
+Run with::
+
+    python examples/broadcast_overlay.py
+"""
+
+from __future__ import annotations
+
+from repro import greedy_spanner
+from repro.distributed.broadcast import compare_broadcast_overlays
+from repro.distributed.synchronizer import compare_synchronizer_overlays
+from repro.experiments.reporting import render_table
+from repro.graph.generators import random_geometric_graph
+from repro.spanners.baswana_sen import baswana_sen_spanner
+from repro.spanners.trivial import mst_spanner
+
+
+def main() -> None:
+    network = random_geometric_graph(150, 0.15, seed=13)
+    print(f"network: {network}")
+
+    overlays = {
+        "full-network": network,
+        "mst": mst_spanner(network).subgraph,
+        "greedy-1.5-spanner": greedy_spanner(network, 1.5).subgraph,
+        "baswana-sen-3-spanner": baswana_sen_spanner(network, 2, seed=13).subgraph,
+    }
+
+    broadcast_rows = []
+    for outcome in compare_broadcast_overlays(network, overlays):
+        row = {"overlay": outcome.overlay_name}
+        row.update(outcome.as_row())
+        broadcast_rows.append(row)
+    print()
+    print(render_table(broadcast_rows, title="Flood broadcast from one source"))
+
+    sync_rows = []
+    for cost in compare_synchronizer_overlays(overlays, pulses=100):
+        row = {"overlay": cost.overlay_name}
+        row.update(cost.as_row())
+        sync_rows.append(row)
+    print()
+    print(render_table(sync_rows, title="Synchronizer cost per overlay (100 pulses)"))
+
+    print()
+    print(
+        "The greedy-spanner overlay delivers almost as fast as flooding the full "
+        "network while paying close to the MST's communication cost — exactly the "
+        "trade-off light spanners are built for."
+    )
+
+
+if __name__ == "__main__":
+    main()

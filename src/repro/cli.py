@@ -1,0 +1,152 @@
+"""Command-line interface for the reproduction.
+
+Entry points (also usable as ``python -m repro.cli <command>``):
+
+* ``list-workloads`` — print the workload registry.
+* ``figure1`` — reproduce the paper's Figure 1 example.
+* ``experiment <id>`` — run one experiment from DESIGN.md's index (E1–E8) and
+  print its table.  ``--quick`` shrinks the workloads.
+* ``compare`` — run the Euclidean construction comparison on a chosen
+  workload size and stretch.
+* ``spanner`` — build a greedy spanner of a registered workload and print its
+  statistics.
+
+The CLI exists so the repository can be exercised without writing Python —
+e.g. ``python -m repro.cli experiment E3``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional, Sequence
+
+from repro.core.greedy import greedy_spanner, greedy_spanner_of_metric
+from repro.experiments import experiments as exp
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.reporting import render_table
+from repro.experiments.workloads import get_workload, list_workloads
+from repro.graph.weighted_graph import WeightedGraph
+
+_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "E1": exp.experiment_figure1,
+    "E2": exp.experiment_lemma3,
+    "E3": exp.experiment_general_graphs,
+    "E4": exp.experiment_doubling_metrics,
+    "E5": exp.experiment_approximate_greedy,
+    "E6": exp.experiment_comparison,
+    "E7": exp.experiment_broadcast,
+    "E8": exp.experiment_degree,
+    "E9": exp.experiment_routing,
+}
+
+_QUICK_ARGUMENTS: dict[str, dict[str, object]] = {
+    "E1": {"epsilons": (0.1,)},
+    "E2": {"sizes": (20,), "stretches": (2.0,)},
+    "E3": {"sizes": (50,), "ks": (2,)},
+    "E4": {"sizes": (40,), "epsilons": (0.5,)},
+    "E5": {"sizes": (40,)},
+    "E6": {"n": 60},
+    "E7": {"n": 60},
+    "E8": {"star_sizes": (10, 20), "euclidean_sizes": (40,)},
+    "E9": {"n": 50, "demand_count": 40},
+}
+
+
+def _command_list_workloads(args: argparse.Namespace) -> int:
+    rows = [
+        {
+            "name": spec.name,
+            "kind": spec.kind,
+            "description": spec.description,
+        }
+        for spec in list_workloads(kind=args.kind)
+    ]
+    print(render_table(rows, title="Registered workloads"))
+    return 0
+
+
+def _command_figure1(args: argparse.Namespace) -> int:
+    result = exp.experiment_figure1(epsilons=(args.epsilon,), stretch=args.stretch)
+    print(result.render())
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    experiment_id = args.id.upper()
+    if experiment_id not in _EXPERIMENTS:
+        print(f"unknown experiment {args.id!r}; valid ids: {', '.join(sorted(_EXPERIMENTS))}")
+        return 2
+    function = _EXPERIMENTS[experiment_id]
+    kwargs = _QUICK_ARGUMENTS.get(experiment_id, {}) if args.quick else {}
+    result = function(**kwargs)
+    print(result.render())
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    result = exp.experiment_comparison(
+        n=args.n, stretch=args.stretch, clustered=args.clustered
+    )
+    print(result.render())
+    return 0
+
+
+def _command_spanner(args: argparse.Namespace) -> int:
+    spec = get_workload(args.workload)
+    instance = spec.build()
+    if isinstance(instance, WeightedGraph):
+        spanner = greedy_spanner(instance, args.stretch)
+    else:
+        spanner = greedy_spanner_of_metric(instance, args.stretch)
+    stats = spanner.statistics(measure_stretch=args.measure_stretch)
+    print(render_table([stats.as_row()], title=f"greedy {args.stretch}-spanner of {spec.name}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'The Greedy Spanner is Existentially Optimal' (PODC 2016)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list-workloads", help="print the workload registry")
+    list_parser.add_argument("--kind", choices=["graph", "metric"], default=None)
+    list_parser.set_defaults(handler=_command_list_workloads)
+
+    figure1_parser = subparsers.add_parser("figure1", help="reproduce the paper's Figure 1")
+    figure1_parser.add_argument("--epsilon", type=float, default=0.1)
+    figure1_parser.add_argument("--stretch", type=float, default=3.0)
+    figure1_parser.set_defaults(handler=_command_figure1)
+
+    experiment_parser = subparsers.add_parser("experiment", help="run one experiment (E1-E8)")
+    experiment_parser.add_argument("id", help="experiment id, e.g. E3")
+    experiment_parser.add_argument("--quick", action="store_true", help="use reduced workloads")
+    experiment_parser.set_defaults(handler=_command_experiment)
+
+    compare_parser = subparsers.add_parser("compare", help="Euclidean construction comparison")
+    compare_parser.add_argument("--n", type=int, default=120)
+    compare_parser.add_argument("--stretch", type=float, default=1.5)
+    compare_parser.add_argument("--clustered", action="store_true")
+    compare_parser.set_defaults(handler=_command_compare)
+
+    spanner_parser = subparsers.add_parser("spanner", help="greedy spanner of a registered workload")
+    spanner_parser.add_argument("workload", help="workload name (see list-workloads)")
+    spanner_parser.add_argument("--stretch", type=float, default=2.0)
+    spanner_parser.add_argument("--measure-stretch", action="store_true")
+    spanner_parser.set_defaults(handler=_command_spanner)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

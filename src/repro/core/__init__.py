@@ -1,0 +1,72 @@
+"""The paper's contribution: the greedy spanner, its optimality, and approximate-greedy."""
+
+from repro.core.spanner import Spanner, SpannerStatistics
+from repro.core.greedy import (
+    greedy_spanner,
+    greedy_spanner_edges,
+    greedy_spanner_of_metric,
+    rerun_greedy_on_spanner,
+)
+from repro.core.approximate_greedy import (
+    ApproximateGreedyParameters,
+    approximate_greedy_spanner,
+    derive_parameters,
+)
+from repro.core.cluster_graph import ClusterGraph
+from repro.core.optimality import (
+    Figure1Report,
+    OptimalityCertificate,
+    analyse_figure1,
+    brute_force_optimal_spanner,
+    existential_optimality_certificate,
+    greedy_is_fixed_point,
+    is_t_spanner_of,
+    metric_optimality_certificate,
+    verify_lemma3_self_spanner,
+    verify_lemma7_weight,
+    verify_lemma8_size,
+    verify_observation2,
+    verify_observation6,
+    verify_observation12,
+)
+from repro.core.lightness import (
+    althofer_size_bound,
+    chechik_wulffnilsen_lightness_bound,
+    gottlieb_lightness_bound,
+    lightness,
+    normalized_size,
+    smid_doubling_lightness_bound,
+)
+
+__all__ = [
+    "Spanner",
+    "SpannerStatistics",
+    "greedy_spanner",
+    "greedy_spanner_edges",
+    "greedy_spanner_of_metric",
+    "rerun_greedy_on_spanner",
+    "ApproximateGreedyParameters",
+    "approximate_greedy_spanner",
+    "derive_parameters",
+    "ClusterGraph",
+    "Figure1Report",
+    "OptimalityCertificate",
+    "analyse_figure1",
+    "brute_force_optimal_spanner",
+    "existential_optimality_certificate",
+    "greedy_is_fixed_point",
+    "is_t_spanner_of",
+    "metric_optimality_certificate",
+    "verify_lemma3_self_spanner",
+    "verify_lemma7_weight",
+    "verify_lemma8_size",
+    "verify_observation2",
+    "verify_observation6",
+    "verify_observation12",
+    "althofer_size_bound",
+    "chechik_wulffnilsen_lightness_bound",
+    "gottlieb_lightness_bound",
+    "lightness",
+    "normalized_size",
+    "smid_doubling_lightness_bound",
+]

@@ -1,0 +1,217 @@
+"""Cluster graphs: the coarse distance structure behind the approximate-greedy algorithm.
+
+Section 5.1 of the paper sketches Algorithm ``Approximate-Greedy``
+(Das–Narasimhan 1997, Gudmundsson–Levcopoulos–Narasimhan 2002): instead of
+answering each greedy distance query exactly on the growing spanner, the
+algorithm maintains "a much simpler and coarser *cluster graph* that
+approximates the original distances, on which the distance queries are
+performed", and the cluster graph is rebuilt whenever the algorithm moves to
+the next bucket of edge weights.
+
+The :class:`ClusterGraph` here implements that structure with one invariant
+that the correctness of our simulation rests on:
+
+    **approximate distances never underestimate** — for every pair ``(u, v)``
+    the value returned by :meth:`approximate_distance` is an upper bound on
+    the true distance ``δ_H(u, v)`` in the clustered graph ``H``.
+
+Because the greedy simulation only *skips* an edge when the approximate
+distance is already within the stretch threshold, never-underestimating
+guarantees that every skipped edge genuinely has a within-stretch path, so
+the output is a valid spanner.  Overestimation can only cause extra edges to
+be kept, which affects the constants (measured by the experiments) but never
+the stretch guarantee.
+
+Cluster construction: given a radius ``r``, cluster centres are chosen
+greedily (an ``r``-net of the current spanner's vertices under spanner
+distances restricted to a bounded search), every vertex is assigned to a
+centre within spanner distance ``r``, and the cluster graph has one vertex per
+centre with an edge between two centres whenever some spanner edge joins
+their clusters; the cluster edge weight is a *path upper bound*
+``δ(c₁, x) + w(x, y) + δ(y, c₂)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections.abc import Iterable
+
+from repro.graph.weighted_graph import Vertex, WeightedGraph
+
+
+def _bounded_dijkstra_all(
+    graph: WeightedGraph, source: Vertex, radius: float
+) -> dict[Vertex, float]:
+    """Return distances from ``source`` to every vertex within ``radius`` in ``graph``."""
+    distances: dict[Vertex, float] = {}
+    heap: list[tuple[float, int, Vertex]] = [(0.0, 0, source)]
+    counter = 0
+    while heap:
+        dist, _, vertex = heapq.heappop(heap)
+        if vertex in distances:
+            continue
+        distances[vertex] = dist
+        for neighbour, weight in graph.incident(vertex):
+            if neighbour in distances:
+                continue
+            new_dist = dist + weight
+            if new_dist <= radius:
+                counter += 1
+                heapq.heappush(heap, (new_dist, counter, neighbour))
+    return distances
+
+
+class ClusterGraph:
+    """A coarse approximation of a spanner-in-progress at a given radius scale.
+
+    Parameters
+    ----------
+    spanner:
+        The current (growing) spanner ``H``.  The cluster graph keeps a
+        reference and answers queries with respect to the state of ``H`` at
+        construction time plus any edges added through
+        :meth:`notify_edge_added`.
+    radius:
+        The cluster radius ``r``: every vertex is within spanner distance
+        ``r`` of its cluster centre.
+    """
+
+    def __init__(self, spanner: WeightedGraph, radius: float) -> None:
+        self.spanner = spanner
+        self.radius = float(radius)
+        self.centre_of: dict[Vertex, Vertex] = {}
+        self.offset_of: dict[Vertex, float] = {}
+        self.centres: list[Vertex] = []
+        self.graph = WeightedGraph()
+        self.rebuild_count = 0
+        self.query_count = 0
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        """(Re)build the clusters and the cluster graph from the current spanner."""
+        self.centre_of.clear()
+        self.offset_of.clear()
+        self.centres = []
+        self.graph = WeightedGraph()
+        self.rebuild_count += 1
+
+        # Greedy clustering: scan vertices; any vertex not yet covered becomes
+        # a centre and absorbs everything within spanner distance `radius`.
+        for vertex in self.spanner.vertices():
+            if vertex in self.centre_of:
+                continue
+            self.centres.append(vertex)
+            self.graph.add_vertex(vertex)
+            reachable = _bounded_dijkstra_all(self.spanner, vertex, self.radius)
+            for member, offset in reachable.items():
+                # Keep the closest centre for each member.
+                if member not in self.centre_of or offset < self.offset_of[member]:
+                    self.centre_of[member] = vertex
+                    self.offset_of[member] = offset
+        # Vertices isolated in the spanner become their own centres too
+        # (handled above since Dijkstra from them reaches themselves at 0).
+
+        # Cluster edges: for each spanner edge joining two clusters, add a
+        # cluster edge with a path-upper-bound weight.
+        for u, v, weight in self.spanner.edges():
+            cu, cv = self.centre_of[u], self.centre_of[v]
+            if cu == cv:
+                continue
+            bound = self.offset_of[u] + weight + self.offset_of[v]
+            if not self.graph.has_edge(cu, cv) or bound < self.graph.weight(cu, cv):
+                self.graph.add_edge(cu, cv, bound)
+
+    def rebuild(self, radius: float | None = None) -> None:
+        """Rebuild the clusters, optionally at a new radius (bucket transition)."""
+        if radius is not None:
+            self.radius = float(radius)
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def number_of_clusters(self) -> int:
+        """The number of clusters (vertices of the cluster graph)."""
+        return len(self.centres)
+
+    def approximate_distance(self, u: Vertex, v: Vertex, cutoff: float) -> float:
+        """Return an upper bound on ``δ_H(u, v)``, or ``inf`` if it exceeds ``cutoff``.
+
+        The bound is ``offset(u) + δ_cluster(centre(u), centre(v)) + offset(v)``
+        computed by a cutoff-pruned Dijkstra on the cluster graph.  By the
+        triangle inequality and the path-upper-bound edge weights this never
+        underestimates the true spanner distance.
+        """
+        self.query_count += 1
+        if u == v:
+            return 0.0
+        cu, cv = self.centre_of[u], self.centre_of[v]
+        slack = self.offset_of[u] + self.offset_of[v]
+        if cu == cv:
+            value = self.offset_of[u] + self.offset_of[v]
+            return value if value <= cutoff else math.inf
+
+        budget = cutoff - slack
+        if budget < 0:
+            return math.inf
+        settled: set[Vertex] = set()
+        heap: list[tuple[float, int, Vertex]] = [(0.0, 0, cu)]
+        counter = 0
+        while heap:
+            dist, _, vertex = heapq.heappop(heap)
+            if dist > budget:
+                return math.inf
+            if vertex in settled:
+                continue
+            settled.add(vertex)
+            if vertex == cv:
+                return dist + slack
+            for neighbour, weight in self.graph.incident(vertex):
+                if neighbour in settled:
+                    continue
+                new_dist = dist + weight
+                if new_dist <= budget:
+                    counter += 1
+                    heapq.heappush(heap, (new_dist, counter, neighbour))
+        return math.inf
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def notify_edge_added(self, u: Vertex, v: Vertex, weight: float) -> None:
+        """Incorporate a newly added spanner edge into the cluster graph.
+
+        The clusters themselves are left untouched (they are refreshed on the
+        next bucket transition); only the inter-cluster edge is updated, which
+        keeps the never-underestimate invariant.
+        """
+        cu, cv = self.centre_of[u], self.centre_of[v]
+        if cu == cv:
+            return
+        bound = self.offset_of[u] + weight + self.offset_of[v]
+        if not self.graph.has_edge(cu, cv) or bound < self.graph.weight(cu, cv):
+            self.graph.add_edge(cu, cv, bound)
+
+    def check_never_underestimates(
+        self, pairs: Iterable[tuple[Vertex, Vertex]], *, tolerance: float = 1e-9
+    ) -> bool:
+        """Verify the core invariant on a sample of vertex pairs (used by tests)."""
+        from repro.graph.shortest_paths import pair_distance
+
+        for u, v in pairs:
+            approx = self.approximate_distance(u, v, math.inf)
+            true = pair_distance(self.spanner, u, v)
+            if approx + tolerance < true:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterGraph(clusters={self.number_of_clusters}, "
+            f"radius={self.radius:.4g}, edges={self.graph.number_of_edges})"
+        )

@@ -1,0 +1,41 @@
+"""Distributed-application substrate: broadcast and synchronizers over spanner overlays."""
+
+from repro.distributed.network import Message, Network, NetworkStatistics
+from repro.distributed.broadcast import (
+    BroadcastResult,
+    broadcast_over_overlay,
+    compare_broadcast_overlays,
+    flood_broadcast,
+)
+from repro.distributed.synchronizer import (
+    SynchronizerCost,
+    compare_synchronizer_overlays,
+    synchronizer_cost,
+)
+from repro.distributed.routing import (
+    Route,
+    RoutingReport,
+    RoutingScheme,
+    compare_routing_overlays,
+    evaluate_routing,
+    random_demands,
+)
+
+__all__ = [
+    "Message",
+    "Network",
+    "NetworkStatistics",
+    "BroadcastResult",
+    "broadcast_over_overlay",
+    "compare_broadcast_overlays",
+    "flood_broadcast",
+    "SynchronizerCost",
+    "compare_synchronizer_overlays",
+    "synchronizer_cost",
+    "Route",
+    "RoutingReport",
+    "RoutingScheme",
+    "compare_routing_overlays",
+    "evaluate_routing",
+    "random_demands",
+]

@@ -1,0 +1,140 @@
+"""Broadcast over a spanner overlay: the Section 1.1 application.
+
+A single source floods a message over an overlay graph; every vertex forwards
+the message to all neighbours the first time it receives it.  Run on
+different overlays of the same underlying network, the flood exhibits exactly
+the trade-off the paper describes:
+
+* the **full graph** delivers fastest (stretch 1) but at maximal
+  communication cost (every edge carries the message),
+* the **MST** has minimal communication cost but can be very slow (stretch up
+  to ``n - 1``),
+* a **light, sparse spanner** (the greedy spanner in particular) gets within
+  the stretch factor of the fastest delivery while paying communication cost
+  proportional to its weight — near the MST's.
+
+:func:`compare_broadcast_overlays` packages the comparison for experiment E7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.distributed.network import Message, Network, NetworkStatistics
+from repro.graph.shortest_paths import single_source_distances
+from repro.graph.weighted_graph import Vertex, WeightedGraph
+
+
+@dataclass(frozen=True)
+class BroadcastResult:
+    """Outcome of one flood broadcast over one overlay.
+
+    Attributes
+    ----------
+    overlay_name:
+        Label of the overlay (``"graph"``, ``"mst"``, ``"greedy"``, ...).
+    overlay_edges, overlay_weight:
+        Size and total weight of the overlay.
+    statistics:
+        Message count, communication cost and completion time of the flood.
+    vertices_reached:
+        Number of vertices that received the message (should be all of them
+        on a connected overlay).
+    max_delivery_delay:
+        Latest first-delivery time over all vertices.
+    stretch_vs_optimal:
+        ``max_delivery_delay`` divided by the weighted eccentricity of the
+        source in the *full* graph (the fastest physically possible delivery).
+    """
+
+    overlay_name: str
+    overlay_edges: int
+    overlay_weight: float
+    statistics: NetworkStatistics
+    vertices_reached: int
+    max_delivery_delay: float
+    stretch_vs_optimal: float
+
+    def as_row(self) -> dict[str, float]:
+        """Return the result as a flat dictionary (one table row)."""
+        row = {
+            "edges": float(self.overlay_edges),
+            "overlay_weight": self.overlay_weight,
+            "reached": float(self.vertices_reached),
+            "max_delay": self.max_delivery_delay,
+            "delay_stretch": self.stretch_vs_optimal,
+        }
+        row.update(self.statistics.as_row())
+        return row
+
+
+def flood_broadcast(
+    overlay: WeightedGraph, source: Vertex, *, payload: object = "broadcast"
+) -> tuple[NetworkStatistics, dict[Vertex, float]]:
+    """Flood ``payload`` from ``source`` over ``overlay``.
+
+    Returns the network statistics and the first-delivery time of every
+    reached vertex (the source is delivered at time 0).
+    """
+    delivery_time: dict[Vertex, float] = {source: 0.0}
+
+    def handler(network: Network, vertex: Vertex, message: Message) -> None:
+        if vertex in delivery_time:
+            return
+        delivery_time[vertex] = network.now
+        for neighbour in network.overlay.neighbours(vertex):
+            if neighbour != message.sender:
+                network.send(vertex, neighbour, message.payload)
+
+    network = Network(overlay, handler)
+    network.broadcast_from(source, payload)
+    statistics = network.run()
+    return statistics, delivery_time
+
+
+def broadcast_over_overlay(
+    full_graph: WeightedGraph,
+    overlay: WeightedGraph,
+    source: Vertex,
+    *,
+    name: str = "overlay",
+) -> BroadcastResult:
+    """Run a flood broadcast over ``overlay`` and measure it against ``full_graph``.
+
+    The delay stretch is measured against the source's weighted eccentricity
+    in the full graph — the fastest any overlay could deliver to the farthest
+    vertex.
+    """
+    statistics, delivery_time = flood_broadcast(overlay, source)
+    optimal_distances = single_source_distances(full_graph, source)
+    farthest_optimal = max(optimal_distances.values(), default=0.0)
+    max_delay = max(delivery_time.values(), default=0.0)
+    stretch = max_delay / farthest_optimal if farthest_optimal > 0 else 1.0
+    return BroadcastResult(
+        overlay_name=name,
+        overlay_edges=overlay.number_of_edges,
+        overlay_weight=overlay.total_weight(),
+        statistics=statistics,
+        vertices_reached=len(delivery_time),
+        max_delivery_delay=max_delay,
+        stretch_vs_optimal=stretch,
+    )
+
+
+def compare_broadcast_overlays(
+    graph: WeightedGraph,
+    overlays: dict[str, WeightedGraph],
+    source: Optional[Vertex] = None,
+) -> list[BroadcastResult]:
+    """Broadcast from ``source`` over each overlay and return one result per overlay.
+
+    ``overlays`` maps a label to an overlay graph on the same vertex set; the
+    full graph itself is usually included under the label ``"graph"``.
+    """
+    if source is None:
+        source = next(iter(graph.vertices()))
+    return [
+        broadcast_over_overlay(graph, overlay, source, name=name)
+        for name, overlay in overlays.items()
+    ]

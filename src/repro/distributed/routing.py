@@ -1,0 +1,213 @@
+"""Compact routing over spanner overlays.
+
+Section 1.1 of the paper lists compact routing schemes among the applications
+of low-degree, sparse spanners: "the use of low degree spanners enables the
+routing tables to be of small size".  This module implements the simplest
+such scheme — next-hop shortest-path routing restricted to an overlay — and
+the measurements that make the motivation concrete:
+
+* **table size** — each vertex stores one next-hop entry per destination, but
+  the *local* state that must be maintained per neighbour (ports, link state,
+  synchronizer counters) is proportional to its overlay degree, so the
+  per-vertex table/port cost is reported as ``degree``,
+* **route stretch** — the ratio between the routed path's length (through the
+  overlay) and the true shortest-path distance in the full network; by the
+  spanner property this is at most the overlay's stretch,
+* **total routing cost** — the sum of routed path lengths over a set of
+  demand pairs.
+
+:func:`compare_routing_overlays` runs the same demands over several overlays
+(full graph, MST, greedy spanner, ...), reproducing the trade-off the paper
+describes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import DisconnectedGraphError
+from repro.graph.shortest_paths import dijkstra, pair_distance
+from repro.graph.weighted_graph import Vertex, WeightedGraph
+
+
+@dataclass(frozen=True)
+class Route:
+    """A routed path: the vertex sequence and its total weight."""
+
+    path: tuple[Vertex, ...]
+    weight: float
+
+    @property
+    def hops(self) -> int:
+        """The number of edges traversed."""
+        return max(len(self.path) - 1, 0)
+
+
+class RoutingScheme:
+    """Next-hop shortest-path routing restricted to an overlay graph.
+
+    The routing tables are built by running Dijkstra from every vertex of the
+    overlay (an ``O(n·(m + n log n))`` preprocessing step) and storing, for
+    every (source, destination) pair, the first hop of a shortest overlay
+    path.  Packets are then forwarded hop by hop using only local table
+    lookups, which is how the scheme would operate in a real network.
+    """
+
+    def __init__(self, overlay: WeightedGraph) -> None:
+        self.overlay = overlay
+        self._next_hop: dict[Vertex, dict[Vertex, Vertex]] = {}
+        self._build_tables()
+
+    def _build_tables(self) -> None:
+        vertices = list(self.overlay.vertices())
+        for destination in vertices:
+            distances, predecessors = dijkstra(self.overlay, destination)
+            if len(distances) != len(vertices):
+                raise DisconnectedGraphError(
+                    "routing tables require a connected overlay"
+                )
+            # predecessors point towards `destination`; the next hop from any
+            # vertex v towards `destination` is exactly predecessors[v].
+            for vertex, parent in predecessors.items():
+                if parent is None:
+                    continue
+                self._next_hop.setdefault(vertex, {})[destination] = parent
+
+    # ------------------------------------------------------------------
+    # Table statistics
+    # ------------------------------------------------------------------
+    def table_entries(self, vertex: Vertex) -> int:
+        """Number of next-hop entries stored at ``vertex`` (``n - 1`` when connected)."""
+        return len(self._next_hop.get(vertex, {}))
+
+    def port_count(self, vertex: Vertex) -> int:
+        """Number of distinct ports (overlay neighbours) at ``vertex``.
+
+        This is the overlay degree — the quantity the paper's routing
+        motivation is about.
+        """
+        return self.overlay.degree(vertex)
+
+    def max_port_count(self) -> int:
+        """The maximum port count over all vertices (the overlay's max degree)."""
+        return self.overlay.max_degree()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def next_hop(self, source: Vertex, destination: Vertex) -> Optional[Vertex]:
+        """Return the next hop from ``source`` towards ``destination`` (None at the destination)."""
+        if source == destination:
+            return None
+        return self._next_hop[source][destination]
+
+    def route(self, source: Vertex, destination: Vertex) -> Route:
+        """Forward a packet hop by hop and return the realised route."""
+        path: list[Vertex] = [source]
+        weight = 0.0
+        current = source
+        safety = self.overlay.number_of_vertices + 1
+        while current != destination:
+            hop = self.next_hop(current, destination)
+            weight += self.overlay.weight(current, hop)
+            path.append(hop)
+            current = hop
+            safety -= 1
+            if safety < 0:
+                raise RuntimeError("routing loop detected (corrupted tables)")
+        return Route(path=tuple(path), weight=weight)
+
+
+@dataclass(frozen=True)
+class RoutingReport:
+    """Aggregate routing quality of one overlay over a demand set.
+
+    Attributes
+    ----------
+    overlay_name:
+        Label of the overlay.
+    overlay_edges, max_ports:
+        Size and maximum degree (per-vertex port count) of the overlay.
+    demands:
+        Number of (source, destination) pairs routed.
+    max_route_stretch, mean_route_stretch:
+        Worst and average ratio of routed length to true shortest-path
+        distance in the full network.
+    total_routed_weight:
+        Sum of routed path lengths over all demands.
+    """
+
+    overlay_name: str
+    overlay_edges: int
+    max_ports: int
+    demands: int
+    max_route_stretch: float
+    mean_route_stretch: float
+    total_routed_weight: float
+
+    def as_row(self) -> dict[str, float]:
+        """Return the report as a flat dictionary (one table row)."""
+        return {
+            "edges": float(self.overlay_edges),
+            "max_ports": float(self.max_ports),
+            "demands": float(self.demands),
+            "max_route_stretch": self.max_route_stretch,
+            "mean_route_stretch": self.mean_route_stretch,
+            "total_routed_weight": self.total_routed_weight,
+        }
+
+
+def evaluate_routing(
+    full_graph: WeightedGraph,
+    overlay: WeightedGraph,
+    demands: list[tuple[Vertex, Vertex]],
+    *,
+    name: str = "overlay",
+) -> RoutingReport:
+    """Route every demand over ``overlay`` and measure stretch against ``full_graph``."""
+    scheme = RoutingScheme(overlay)
+    stretches: list[float] = []
+    total = 0.0
+    for source, destination in demands:
+        route = scheme.route(source, destination)
+        total += route.weight
+        optimal = pair_distance(full_graph, source, destination)
+        if optimal > 0:
+            stretches.append(route.weight / optimal)
+    return RoutingReport(
+        overlay_name=name,
+        overlay_edges=overlay.number_of_edges,
+        max_ports=scheme.max_port_count(),
+        demands=len(demands),
+        max_route_stretch=max(stretches, default=1.0),
+        mean_route_stretch=(sum(stretches) / len(stretches)) if stretches else 1.0,
+        total_routed_weight=total,
+    )
+
+
+def random_demands(
+    graph: WeightedGraph, count: int, *, seed: Optional[int] = None
+) -> list[tuple[Vertex, Vertex]]:
+    """Return ``count`` random distinct-endpoint demand pairs."""
+    rng = random.Random(seed)
+    vertices = list(graph.vertices())
+    if len(vertices) < 2:
+        return []
+    return [tuple(rng.sample(vertices, 2)) for _ in range(count)]
+
+
+def compare_routing_overlays(
+    graph: WeightedGraph,
+    overlays: dict[str, WeightedGraph],
+    *,
+    demand_count: int = 100,
+    seed: Optional[int] = None,
+) -> list[RoutingReport]:
+    """Route the same random demand set over each overlay and report per overlay."""
+    demands = random_demands(graph, demand_count, seed=seed)
+    return [
+        evaluate_routing(graph, overlay, demands, name=name)
+        for name, overlay in overlays.items()
+    ]

@@ -1,0 +1,107 @@
+"""Exception hierarchy for the greedy-spanner reproduction library.
+
+All exceptions raised intentionally by this package derive from
+:class:`ReproError`, so callers can catch a single base class.  Each subclass
+corresponds to a distinct failure mode of the substrates (graphs, metrics) or
+of the spanner algorithms built on top of them.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Base class for errors in the graph substrate."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """A vertex referenced by an operation is not present in the graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge referenced by an operation is not present in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.u = u
+        self.v = v
+
+
+class InvalidWeightError(GraphError, ValueError):
+    """An edge weight is not a positive, finite number."""
+
+
+class DisconnectedGraphError(GraphError):
+    """An operation that requires a connected graph was given a disconnected one."""
+
+
+class SelfLoopError(GraphError, ValueError):
+    """An operation was given a self-loop, which this library does not support."""
+
+
+class MetricError(ReproError):
+    """Base class for errors in the metric-space substrate."""
+
+
+class MetricAxiomError(MetricError, ValueError):
+    """A purported metric violates one of the metric axioms."""
+
+
+class EmptyMetricError(MetricError, ValueError):
+    """A metric-space operation was given an empty point set."""
+
+
+class SpannerError(ReproError):
+    """Base class for errors in spanner construction or verification."""
+
+
+class InvalidStretchError(SpannerError, ValueError):
+    """A stretch parameter is out of the range accepted by an algorithm."""
+
+
+class StretchViolationError(SpannerError):
+    """A graph claimed to be a t-spanner violates the stretch guarantee.
+
+    Attributes
+    ----------
+    u, v:
+        The vertex pair witnessing the violation.
+    spanner_distance, original_distance:
+        The distances in the spanner and in the original graph/metric.
+    stretch:
+        The stretch bound that was violated.
+    """
+
+    def __init__(
+        self,
+        u: object,
+        v: object,
+        spanner_distance: float,
+        original_distance: float,
+        stretch: float,
+    ) -> None:
+        super().__init__(
+            f"stretch violated for pair ({u!r}, {v!r}): "
+            f"spanner distance {spanner_distance} > "
+            f"{stretch} * {original_distance}"
+        )
+        self.u = u
+        self.v = v
+        self.spanner_distance = spanner_distance
+        self.original_distance = original_distance
+        self.stretch = stretch
+
+
+class ExperimentError(ReproError):
+    """Base class for errors raised by the experiment harness."""
+
+
+class UnknownWorkloadError(ExperimentError, KeyError):
+    """A workload name was not found in the workload registry."""

@@ -1,0 +1,39 @@
+"""Experiment harness: workloads, runners and the per-claim experiments of DESIGN.md."""
+
+from repro.experiments.harness import ExperimentResult, Stopwatch, timed
+from repro.experiments.reporting import render_comparison, render_table
+from repro.experiments.workloads import WorkloadSpec, get_workload, list_workloads, register
+from repro.experiments.experiments import (
+    experiment_approximate_greedy,
+    experiment_broadcast,
+    experiment_comparison,
+    experiment_degree,
+    experiment_doubling_metrics,
+    experiment_figure1,
+    experiment_general_graphs,
+    experiment_lemma3,
+    experiment_routing,
+    run_all_experiments,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "Stopwatch",
+    "timed",
+    "render_comparison",
+    "render_table",
+    "WorkloadSpec",
+    "get_workload",
+    "list_workloads",
+    "register",
+    "experiment_approximate_greedy",
+    "experiment_broadcast",
+    "experiment_comparison",
+    "experiment_degree",
+    "experiment_doubling_metrics",
+    "experiment_figure1",
+    "experiment_general_graphs",
+    "experiment_lemma3",
+    "experiment_routing",
+    "run_all_experiments",
+]

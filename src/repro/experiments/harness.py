@@ -1,0 +1,92 @@
+"""Experiment harness: result records and timing helpers.
+
+Every experiment in :mod:`repro.experiments.experiments` returns an
+:class:`ExperimentResult` — the experiment id from DESIGN.md's index, the
+rows of the regenerated table, and free-text notes recording the paper claim
+the rows should be compared against.  Benchmarks print the rendered table so
+that ``pytest benchmarks/ --benchmark-only`` output doubles as the data for
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.experiments.reporting import render_table
+
+
+@dataclass
+class ExperimentResult:
+    """The output of one experiment run.
+
+    Attributes
+    ----------
+    experiment_id:
+        The DESIGN.md identifier, e.g. ``"E3"``.
+    title:
+        Human-readable experiment title.
+    paper_claim:
+        The statement from the paper this experiment regenerates.
+    rows:
+        The measured table rows.
+    notes:
+        Observations recorded during the run (e.g. which side "won").
+    elapsed_seconds:
+        Total wall-clock time of the run.
+    """
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    rows: list[dict[str, object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    def add_row(self, **values: object) -> None:
+        """Append one table row."""
+        self.rows.append(dict(values))
+
+    def add_note(self, note: str) -> None:
+        """Append a free-text observation."""
+        self.notes.append(note)
+
+    def render(self, *, precision: int = 3) -> str:
+        """Render the result as a text report (title, claim, table, notes)."""
+        parts = [
+            f"[{self.experiment_id}] {self.title}",
+            f"paper claim: {self.paper_claim}",
+            "",
+            render_table(self.rows, precision=precision) if self.rows else "(no rows)",
+        ]
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {note}" for note in self.notes)
+        parts.append(f"(elapsed: {self.elapsed_seconds:.2f}s)")
+        return "\n".join(parts)
+
+
+@contextmanager
+def timed(result: ExperimentResult) -> Iterator[ExperimentResult]:
+    """Context manager that records the elapsed wall-clock time on ``result``."""
+    start = time.perf_counter()
+    try:
+        yield result
+    finally:
+        result.elapsed_seconds = time.perf_counter() - start
+
+
+@dataclass
+class Stopwatch:
+    """A tiny helper to time individual steps inside an experiment."""
+
+    _start: float = field(default_factory=time.perf_counter)
+
+    def lap(self) -> float:
+        """Return seconds since construction or the previous lap, and reset."""
+        now = time.perf_counter()
+        elapsed = now - self._start
+        self._start = now
+        return elapsed

@@ -1,0 +1,60 @@
+"""Weighted-graph substrate: the graphs the spanner algorithms operate on.
+
+The subpackage provides the :class:`~repro.graph.weighted_graph.WeightedGraph`
+container, shortest paths, minimum spanning trees, traversal and girth
+utilities, generators for all workload families and (de)serialisation
+helpers.
+"""
+
+from repro.graph.weighted_graph import WeightedGraph
+from repro.graph.shortest_paths import (
+    all_pairs_distances,
+    dijkstra,
+    dijkstra_with_cutoff,
+    pair_distance,
+    path_weight,
+    shortest_path,
+    single_source_distances,
+    weighted_diameter,
+)
+from repro.graph.mst import (
+    DisjointSet,
+    contains_spanning_tree_edges,
+    is_spanning_tree,
+    kruskal_mst,
+    mst_weight,
+    prim_mst,
+)
+from repro.graph.traversal import (
+    connected_components,
+    is_connected,
+    is_forest,
+    is_tree,
+    spanning_forest,
+)
+from repro.graph.girth import unweighted_girth, weighted_girth
+
+__all__ = [
+    "WeightedGraph",
+    "all_pairs_distances",
+    "dijkstra",
+    "dijkstra_with_cutoff",
+    "pair_distance",
+    "path_weight",
+    "shortest_path",
+    "single_source_distances",
+    "weighted_diameter",
+    "DisjointSet",
+    "contains_spanning_tree_edges",
+    "is_spanning_tree",
+    "kruskal_mst",
+    "mst_weight",
+    "prim_mst",
+    "connected_components",
+    "is_connected",
+    "is_forest",
+    "is_tree",
+    "spanning_forest",
+    "unweighted_girth",
+    "weighted_girth",
+]

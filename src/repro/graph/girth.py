@@ -1,0 +1,91 @@
+"""Girth computation for weighted and unweighted graphs.
+
+The lower bounds behind the paper's size statements come from *high-girth*
+graphs: a graph with girth ``t + 2`` contains no proper ``t``-spanner other
+than itself, because removing any edge stretches its endpoints' distance from
+1 to at least ``t + 1``.  Figure 1 of the paper uses the Petersen graph
+(girth 5) for exactly this reason, and the size bound ``O(n^{1+1/k})`` of
+Althöfer et al. is tight assuming Erdős' girth conjecture.
+
+This module computes:
+
+* :func:`unweighted_girth` — length (number of edges) of a shortest cycle,
+* :func:`weighted_girth` — minimum total weight of a cycle,
+* :func:`has_girth_at_least` — early-exit check used by generators and tests.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.graph.weighted_graph import Vertex, WeightedGraph
+from repro.graph.shortest_paths import dijkstra_with_cutoff
+
+
+def unweighted_girth(graph: WeightedGraph) -> float:
+    """Return the girth (length of a shortest cycle) ignoring weights.
+
+    Returns ``math.inf`` for a forest.  Runs a BFS from every vertex and
+    detects the first non-tree edge closing a cycle, the standard
+    ``O(n * m)`` approach.
+    """
+    best = math.inf
+    for root in graph.vertices():
+        depth: dict[Vertex, int] = {root: 0}
+        parent: dict[Vertex, Vertex] = {}
+        queue: deque[Vertex] = deque([root])
+        while queue:
+            vertex = queue.popleft()
+            if depth[vertex] * 2 >= best:
+                # Any cycle through deeper vertices is at least as long as `best`.
+                break
+            for neighbour in graph.neighbours(vertex):
+                if neighbour not in depth:
+                    depth[neighbour] = depth[vertex] + 1
+                    parent[neighbour] = vertex
+                    queue.append(neighbour)
+                elif parent.get(vertex) != neighbour:
+                    # Non-tree edge: cycle through root of length at most
+                    # depth[vertex] + depth[neighbour] + 1.
+                    cycle_length = depth[vertex] + depth[neighbour] + 1
+                    best = min(best, cycle_length)
+    return best
+
+
+def weighted_girth(graph: WeightedGraph) -> float:
+    """Return the minimum total weight of any cycle (``math.inf`` for a forest).
+
+    For each edge ``(u, v)`` the minimum-weight cycle through that edge is
+    ``w(u, v)`` plus the shortest ``u``–``v`` distance avoiding the edge.
+    """
+    best = math.inf
+    for u, v, weight in graph.edges():
+        reduced = graph.copy()
+        reduced.remove_edge(u, v)
+        cutoff = best - weight if best < math.inf else math.inf
+        detour = dijkstra_with_cutoff(reduced, u, v, cutoff)
+        if math.isfinite(detour):
+            best = min(best, detour + weight)
+    return best
+
+
+def has_girth_at_least(graph: WeightedGraph, minimum_girth: int) -> bool:
+    """Return True if the unweighted girth is at least ``minimum_girth``."""
+    return unweighted_girth(graph) >= minimum_girth
+
+
+def shortest_cycle_through_edge(
+    graph: WeightedGraph, u: Vertex, v: Vertex
+) -> float:
+    """Return the minimum weight of a cycle containing the edge ``(u, v)``.
+
+    Returns ``math.inf`` if the edge is a bridge.
+    """
+    weight = graph.weight(u, v)
+    reduced = graph.copy()
+    reduced.remove_edge(u, v)
+    detour = dijkstra_with_cutoff(reduced, u, v, math.inf)
+    if math.isinf(detour):
+        return math.inf
+    return detour + weight

@@ -1,0 +1,193 @@
+"""Minimum spanning trees and the disjoint-set (union-find) structure.
+
+Lightness — the central quantity of the paper — is defined as
+``Ψ(H) = w(H) / w(MST(G))`` (Section 2).  Two classic MST algorithms are
+provided (Kruskal and Prim) together with the union-find structure Kruskal
+needs; both are used by the tests to cross-check each other and by the
+lightness accounting in :mod:`repro.core.lightness`.
+
+Observation 2 of the paper states that the greedy spanner contains all edges
+of *some* MST of the input graph.  :func:`kruskal_mst` uses the same
+deterministic tie-breaking order as
+:meth:`~repro.graph.weighted_graph.WeightedGraph.edges_sorted_by_weight`, so
+the MST it returns is exactly the one contained in our greedy spanner — the
+tests rely on this to check Observation 2 edge-by-edge.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from typing import Optional
+
+import heapq
+
+from repro.errors import DisconnectedGraphError, VertexNotFoundError
+from repro.graph.weighted_graph import Vertex, WeightedEdge, WeightedGraph
+
+
+class DisjointSet:
+    """Union-find with path compression and union by rank.
+
+    Elements may be arbitrary hashable objects and are added lazily on first
+    use by :meth:`find` / :meth:`union`.
+    """
+
+    def __init__(self, elements: Optional[Iterable[Hashable]] = None) -> None:
+        self._parent: dict[Hashable, Hashable] = {}
+        self._rank: dict[Hashable, int] = {}
+        self._count = 0
+        if elements is not None:
+            for element in elements:
+                self.add(element)
+
+    def add(self, element: Hashable) -> None:
+        """Register ``element`` as a singleton set (no-op if already present)."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._rank[element] = 0
+            self._count += 1
+
+    def find(self, element: Hashable) -> Hashable:
+        """Return the representative of the set containing ``element``."""
+        self.add(element)
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> bool:
+        """Merge the sets containing ``a`` and ``b``.
+
+        Returns True if a merge happened, False if they were already together.
+        """
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return False
+        if self._rank[root_a] < self._rank[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        if self._rank[root_a] == self._rank[root_b]:
+            self._rank[root_a] += 1
+        self._count -= 1
+        return True
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """Return True if ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    @property
+    def number_of_sets(self) -> int:
+        """The current number of disjoint sets."""
+        return self._count
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+
+def kruskal_mst(graph: WeightedGraph) -> WeightedGraph:
+    """Return a minimum spanning forest of ``graph`` computed by Kruskal's algorithm.
+
+    For a connected graph this is an MST.  Edges are examined in the same
+    deterministic non-decreasing weight order used by the greedy spanner, so
+    the returned tree is the MST that Observation 2 guarantees to be contained
+    in the greedy spanner.
+    """
+    forest = graph.empty_spanning_subgraph()
+    components = DisjointSet(graph.vertices())
+    for u, v, weight in graph.edges_sorted_by_weight():
+        if components.union(u, v):
+            forest.add_edge(u, v, weight)
+    return forest
+
+
+def prim_mst(graph: WeightedGraph, root: Optional[Vertex] = None) -> WeightedGraph:
+    """Return a minimum spanning forest computed by Prim's algorithm.
+
+    If ``root`` is given, the tree containing it is grown first; other
+    components (if any) are then processed in vertex-iteration order.
+    """
+    forest = graph.empty_spanning_subgraph()
+    if graph.number_of_vertices == 0:
+        return forest
+    if root is not None and not graph.has_vertex(root):
+        raise VertexNotFoundError(root)
+
+    visited: set[Vertex] = set()
+    start_order = list(graph.vertices())
+    if root is not None:
+        start_order.remove(root)
+        start_order.insert(0, root)
+
+    for start in start_order:
+        if start in visited:
+            continue
+        visited.add(start)
+        heap: list[tuple[float, int, Vertex, Vertex]] = []
+        counter = 0
+        for neighbour, weight in graph.incident(start):
+            heapq.heappush(heap, (weight, counter, start, neighbour))
+            counter += 1
+        while heap:
+            weight, _, u, v = heapq.heappop(heap)
+            if v in visited:
+                continue
+            visited.add(v)
+            forest.add_edge(u, v, weight)
+            for neighbour, edge_weight in graph.incident(v):
+                if neighbour not in visited:
+                    counter += 1
+                    heapq.heappush(heap, (edge_weight, counter, v, neighbour))
+    return forest
+
+
+def mst_weight(graph: WeightedGraph) -> float:
+    """Return ``w(MST(G))`` for a connected graph.
+
+    Raises
+    ------
+    DisconnectedGraphError
+        If the graph is not connected, because the lightness of a spanner is
+        only defined with respect to a spanning tree.
+    """
+    forest = kruskal_mst(graph)
+    if forest.number_of_edges != graph.number_of_vertices - 1:
+        raise DisconnectedGraphError(
+            "MST weight requested for a disconnected graph "
+            f"({forest.number_of_edges} forest edges for "
+            f"{graph.number_of_vertices} vertices)"
+        )
+    return forest.total_weight()
+
+
+def is_spanning_tree(graph: WeightedGraph, tree: WeightedGraph) -> bool:
+    """Return True if ``tree`` is a spanning tree of ``graph``.
+
+    A spanning tree must cover every vertex, have exactly ``n - 1`` edges, all
+    of them edges of ``graph``, and be connected (acyclicity follows from the
+    edge count).
+    """
+    n = graph.number_of_vertices
+    if tree.number_of_vertices != n or tree.number_of_edges != n - 1:
+        return False
+    for vertex in graph.vertices():
+        if not tree.has_vertex(vertex):
+            return False
+    components = DisjointSet(tree.vertices())
+    for u, v, _ in tree.edges():
+        if not graph.has_edge(u, v):
+            return False
+        if not components.union(u, v):
+            return False
+    return components.number_of_sets == 1
+
+
+def contains_spanning_tree_edges(spanner: WeightedGraph, tree: WeightedGraph) -> bool:
+    """Return True if every edge of ``tree`` is an edge of ``spanner``.
+
+    This is the check behind Observation 2: the greedy spanner contains all
+    edges of some MST of the input graph.
+    """
+    return all(spanner.has_edge(u, v) for u, v, _ in tree.edges())

@@ -1,0 +1,206 @@
+"""Shortest-path algorithms on :class:`~repro.graph.weighted_graph.WeightedGraph`.
+
+The greedy spanner algorithm (Algorithm 1 of the paper) repeatedly asks
+"what is the distance between u and v in the *current* spanner H?" and
+compares it to ``t * w(u, v)``.  This module provides the distance machinery:
+
+* :func:`dijkstra` — single-source distances (optionally with predecessors),
+* :func:`dijkstra_with_cutoff` — the *bounded* Dijkstra used by the greedy
+  algorithm: the search may stop as soon as the distance to the target is
+  resolved or provably exceeds a cutoff, which is the standard optimisation
+  used by greedy-spanner implementations (Bose et al. 2010),
+* :func:`pair_distance` — distance between a single pair,
+* :func:`shortest_path` — an explicit shortest path as a vertex list,
+* :func:`all_pairs_distances` — dense all-pairs distances (used to induce the
+  metric space ``M_G`` of Section 2 and by the stretch verifiers).
+
+All functions treat unreachable vertices as being at distance ``math.inf``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections.abc import Iterable
+from typing import Optional
+
+from repro.errors import VertexNotFoundError
+from repro.graph.weighted_graph import Vertex, WeightedGraph
+
+Distances = dict[Vertex, float]
+Predecessors = dict[Vertex, Optional[Vertex]]
+
+
+def dijkstra(
+    graph: WeightedGraph,
+    source: Vertex,
+    *,
+    targets: Optional[Iterable[Vertex]] = None,
+) -> tuple[Distances, Predecessors]:
+    """Run Dijkstra's algorithm from ``source``.
+
+    Parameters
+    ----------
+    graph:
+        The weighted graph to search.
+    source:
+        The source vertex.
+    targets:
+        If given, the search stops as soon as every target has been settled.
+
+    Returns
+    -------
+    (distances, predecessors):
+        ``distances`` maps every settled vertex to its distance from
+        ``source``; ``predecessors`` maps it to the previous vertex on a
+        shortest path (``None`` for the source).  Vertices that were not
+        settled do not appear in either dictionary.
+    """
+    if not graph.has_vertex(source):
+        raise VertexNotFoundError(source)
+
+    remaining_targets = set(targets) if targets is not None else None
+    if remaining_targets is not None:
+        remaining_targets.discard(source)
+
+    distances: Distances = {}
+    predecessors: Predecessors = {}
+    heap: list[tuple[float, int, Vertex, Optional[Vertex]]] = [(0.0, 0, source, None)]
+    counter = 0
+
+    while heap:
+        dist, _, vertex, parent = heapq.heappop(heap)
+        if vertex in distances:
+            continue
+        distances[vertex] = dist
+        predecessors[vertex] = parent
+
+        if remaining_targets is not None:
+            remaining_targets.discard(vertex)
+            if not remaining_targets:
+                break
+
+        for neighbour, weight in graph.incident(vertex):
+            if neighbour in distances:
+                continue
+            counter += 1
+            heapq.heappush(heap, (dist + weight, counter, neighbour, vertex))
+
+    return distances, predecessors
+
+
+def dijkstra_with_cutoff(
+    graph: WeightedGraph,
+    source: Vertex,
+    target: Vertex,
+    cutoff: float,
+) -> float:
+    """Return ``δ(source, target)`` if it is at most ``cutoff``, else ``math.inf``.
+
+    This is the bounded single-pair query used by the greedy algorithm: to
+    decide whether to add an edge ``(u, v)`` it only needs to know whether
+    ``δ_H(u, v) ≤ t · w(u, v)``; the search is pruned as soon as the frontier
+    distance exceeds the cutoff.
+    """
+    if not graph.has_vertex(source):
+        raise VertexNotFoundError(source)
+    if not graph.has_vertex(target):
+        raise VertexNotFoundError(target)
+    if source == target:
+        return 0.0
+
+    settled: set[Vertex] = set()
+    heap: list[tuple[float, int, Vertex]] = [(0.0, 0, source)]
+    counter = 0
+
+    while heap:
+        dist, _, vertex = heapq.heappop(heap)
+        if dist > cutoff:
+            return math.inf
+        if vertex in settled:
+            continue
+        settled.add(vertex)
+        if vertex == target:
+            return dist
+        for neighbour, weight in graph.incident(vertex):
+            if neighbour in settled:
+                continue
+            new_dist = dist + weight
+            if new_dist <= cutoff:
+                counter += 1
+                heapq.heappush(heap, (new_dist, counter, neighbour))
+
+    return math.inf
+
+
+def pair_distance(graph: WeightedGraph, source: Vertex, target: Vertex) -> float:
+    """Return the exact distance between ``source`` and ``target`` (inf if disconnected)."""
+    distances, _ = dijkstra(graph, source, targets=[target])
+    return distances.get(target, math.inf)
+
+
+def shortest_path(
+    graph: WeightedGraph, source: Vertex, target: Vertex
+) -> Optional[list[Vertex]]:
+    """Return a shortest path from ``source`` to ``target`` as a vertex list.
+
+    Returns ``None`` if the target is unreachable.  The path includes both
+    endpoints; for ``source == target`` it is ``[source]``.
+    """
+    if source == target:
+        if not graph.has_vertex(source):
+            raise VertexNotFoundError(source)
+        return [source]
+    distances, predecessors = dijkstra(graph, source, targets=[target])
+    if target not in distances:
+        return None
+    path: list[Vertex] = [target]
+    current: Optional[Vertex] = target
+    while current != source:
+        current = predecessors[current]
+        path.append(current)
+    path.reverse()
+    return path
+
+
+def path_weight(graph: WeightedGraph, path: list[Vertex]) -> float:
+    """Return the total weight of consecutive edges along ``path``."""
+    total = 0.0
+    for u, v in zip(path, path[1:]):
+        total += graph.weight(u, v)
+    return total
+
+
+def single_source_distances(graph: WeightedGraph, source: Vertex) -> Distances:
+    """Return distances from ``source`` to every reachable vertex."""
+    distances, _ = dijkstra(graph, source)
+    return distances
+
+
+def all_pairs_distances(graph: WeightedGraph) -> dict[Vertex, Distances]:
+    """Return all-pairs shortest-path distances as a nested dictionary.
+
+    Unreachable pairs are absent from the inner dictionaries.  The result is
+    the (partial) distance matrix of the shortest-path metric ``M_G`` induced
+    by the graph (Section 2 of the paper).
+    """
+    return {vertex: single_source_distances(graph, vertex) for vertex in graph.vertices()}
+
+
+def eccentricity(graph: WeightedGraph, vertex: Vertex) -> float:
+    """Return the weighted eccentricity of ``vertex`` (inf if the graph is disconnected)."""
+    distances = single_source_distances(graph, vertex)
+    if len(distances) < graph.number_of_vertices:
+        return math.inf
+    return max(distances.values(), default=0.0)
+
+
+def weighted_diameter(graph: WeightedGraph) -> float:
+    """Return the weighted diameter of the graph (inf if disconnected)."""
+    diameter = 0.0
+    for vertex in graph.vertices():
+        ecc = eccentricity(graph, vertex)
+        if math.isinf(ecc):
+            return math.inf
+        diameter = max(diameter, ecc)
+    return diameter

@@ -1,0 +1,296 @@
+"""A weighted, undirected graph with positive edge weights.
+
+This is the primary substrate of the reproduction: every spanner algorithm in
+the paper operates on a graph ``G = (V, E, w)`` with positive edge weights
+(Section 2 of the paper).  The implementation is an adjacency-dict structure
+optimised for the access patterns of the spanner algorithms:
+
+* iterate over edges sorted by weight (the greedy algorithm's outer loop),
+* run Dijkstra from a vertex (the greedy algorithm's inner query),
+* add edges incrementally while keeping adjacency consistent,
+* copy / take subgraphs cheaply.
+
+Vertices may be arbitrary hashable objects (integers, tuples, strings).
+Self-loops are rejected; parallel edges are not representable (adding an
+existing edge overwrites its weight).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+from typing import Optional
+
+from repro.errors import (
+    EdgeNotFoundError,
+    InvalidWeightError,
+    SelfLoopError,
+    VertexNotFoundError,
+)
+
+Vertex = Hashable
+Edge = tuple[Vertex, Vertex]
+WeightedEdge = tuple[Vertex, Vertex, float]
+
+
+def _validate_weight(weight: float) -> float:
+    """Return ``weight`` as a float, raising if it is not positive and finite."""
+    try:
+        value = float(weight)
+    except (TypeError, ValueError) as exc:
+        raise InvalidWeightError(f"edge weight {weight!r} is not a number") from exc
+    if value <= 0.0:
+        raise InvalidWeightError(f"edge weight must be positive, got {value}")
+    if value != value or value == float("inf"):
+        raise InvalidWeightError(f"edge weight must be finite, got {value}")
+    return value
+
+
+class WeightedGraph:
+    """An undirected graph with positive edge weights.
+
+    Parameters
+    ----------
+    vertices:
+        Optional iterable of initial vertices.
+    edges:
+        Optional iterable of ``(u, v, weight)`` triples.  Endpoints that are
+        not already vertices are added automatically.
+
+    Examples
+    --------
+    >>> g = WeightedGraph()
+    >>> g.add_edge("a", "b", 2.0)
+    >>> g.add_edge("b", "c", 1.5)
+    >>> g.number_of_vertices, g.number_of_edges
+    (3, 2)
+    >>> g.weight("a", "b")
+    2.0
+    """
+
+    __slots__ = ("_adjacency",)
+
+    def __init__(
+        self,
+        vertices: Optional[Iterable[Vertex]] = None,
+        edges: Optional[Iterable[WeightedEdge]] = None,
+    ) -> None:
+        self._adjacency: dict[Vertex, dict[Vertex, float]] = {}
+        if vertices is not None:
+            for vertex in vertices:
+                self.add_vertex(vertex)
+        if edges is not None:
+            for u, v, weight in edges:
+                self.add_edge(u, v, weight)
+
+    # ------------------------------------------------------------------
+    # Construction and mutation
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex: Vertex) -> None:
+        """Add ``vertex`` to the graph (a no-op if it is already present)."""
+        if vertex not in self._adjacency:
+            self._adjacency[vertex] = {}
+
+    def add_vertices(self, vertices: Iterable[Vertex]) -> None:
+        """Add every vertex in ``vertices``."""
+        for vertex in vertices:
+            self.add_vertex(vertex)
+
+    def add_edge(self, u: Vertex, v: Vertex, weight: float) -> None:
+        """Add the undirected edge ``(u, v)`` with the given positive weight.
+
+        Missing endpoints are created.  If the edge already exists its weight
+        is overwritten.
+        """
+        if u == v:
+            raise SelfLoopError(f"self-loop on vertex {u!r} is not allowed")
+        value = _validate_weight(weight)
+        self.add_vertex(u)
+        self.add_vertex(v)
+        self._adjacency[u][v] = value
+        self._adjacency[v][u] = value
+
+    def add_edges(self, edges: Iterable[WeightedEdge]) -> None:
+        """Add every ``(u, v, weight)`` triple in ``edges``."""
+        for u, v, weight in edges:
+            self.add_edge(u, v, weight)
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove the edge ``(u, v)``; raise :class:`EdgeNotFoundError` if absent."""
+        if not self.has_edge(u, v):
+            raise EdgeNotFoundError(u, v)
+        del self._adjacency[u][v]
+        del self._adjacency[v][u]
+
+    def remove_vertex(self, vertex: Vertex) -> None:
+        """Remove ``vertex`` and all incident edges."""
+        if vertex not in self._adjacency:
+            raise VertexNotFoundError(vertex)
+        for neighbour in list(self._adjacency[vertex]):
+            del self._adjacency[neighbour][vertex]
+        del self._adjacency[vertex]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def number_of_vertices(self) -> int:
+        """The number of vertices ``n``."""
+        return len(self._adjacency)
+
+    @property
+    def number_of_edges(self) -> int:
+        """The number of edges ``m``."""
+        return sum(len(nbrs) for nbrs in self._adjacency.values()) // 2
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        """Return True if ``vertex`` is in the graph."""
+        return vertex in self._adjacency
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Return True if the edge ``(u, v)`` is in the graph."""
+        return u in self._adjacency and v in self._adjacency[u]
+
+    def weight(self, u: Vertex, v: Vertex) -> float:
+        """Return the weight of the edge ``(u, v)``."""
+        if not self.has_edge(u, v):
+            raise EdgeNotFoundError(u, v)
+        return self._adjacency[u][v]
+
+    def degree(self, vertex: Vertex) -> int:
+        """Return the number of edges incident on ``vertex``."""
+        if vertex not in self._adjacency:
+            raise VertexNotFoundError(vertex)
+        return len(self._adjacency[vertex])
+
+    def max_degree(self) -> int:
+        """Return the maximum degree Δ over all vertices (0 for an empty graph)."""
+        if not self._adjacency:
+            return 0
+        return max(len(nbrs) for nbrs in self._adjacency.values())
+
+    def neighbours(self, vertex: Vertex) -> Iterator[Vertex]:
+        """Iterate over the neighbours of ``vertex``."""
+        if vertex not in self._adjacency:
+            raise VertexNotFoundError(vertex)
+        return iter(self._adjacency[vertex])
+
+    def incident(self, vertex: Vertex) -> Iterator[tuple[Vertex, float]]:
+        """Iterate over ``(neighbour, weight)`` pairs incident on ``vertex``."""
+        if vertex not in self._adjacency:
+            raise VertexNotFoundError(vertex)
+        return iter(self._adjacency[vertex].items())
+
+    def adjacency(self, vertex: Vertex) -> Mapping[Vertex, float]:
+        """Return a read-only view of the neighbour-to-weight mapping of ``vertex``."""
+        if vertex not in self._adjacency:
+            raise VertexNotFoundError(vertex)
+        return dict(self._adjacency[vertex])
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over the vertices."""
+        return iter(self._adjacency)
+
+    def edges(self) -> Iterator[WeightedEdge]:
+        """Iterate over edges as ``(u, v, weight)``, each undirected edge once."""
+        seen: set[Edge] = set()
+        for u, nbrs in self._adjacency.items():
+            for v, weight in nbrs.items():
+                if (v, u) in seen:
+                    continue
+                seen.add((u, v))
+                yield (u, v, weight)
+
+    def edges_sorted_by_weight(self) -> list[WeightedEdge]:
+        """Return the edges sorted by non-decreasing weight.
+
+        This is exactly the examination order of the greedy algorithm
+        (Algorithm 1, line 2 of the paper).  Ties are broken by the string
+        representation of the endpoints so that the order — and therefore the
+        greedy spanner — is deterministic and reproducible across runs.
+        """
+        return sorted(self.edges(), key=lambda e: (e[2], repr(e[0]), repr(e[1])))
+
+    def total_weight(self) -> float:
+        """Return ``w(G)``, the sum of all edge weights."""
+        return sum(weight for _, _, weight in self.edges())
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "WeightedGraph":
+        """Return a deep copy of the graph."""
+        clone = WeightedGraph()
+        for vertex in self._adjacency:
+            clone.add_vertex(vertex)
+        for u, v, weight in self.edges():
+            clone.add_edge(u, v, weight)
+        return clone
+
+    def subgraph_with_edges(self, edges: Iterable[Edge]) -> "WeightedGraph":
+        """Return the spanning subgraph containing all vertices but only ``edges``.
+
+        Edge weights are taken from this graph; an edge absent from this graph
+        raises :class:`EdgeNotFoundError`.
+        """
+        sub = WeightedGraph(vertices=self._adjacency.keys())
+        for u, v in edges:
+            sub.add_edge(u, v, self.weight(u, v))
+        return sub
+
+    def empty_spanning_subgraph(self) -> "WeightedGraph":
+        """Return a graph with the same vertex set and no edges.
+
+        This is line 1 of Algorithm 1: ``H = (V, ∅, w)``.
+        """
+        return WeightedGraph(vertices=self._adjacency.keys())
+
+    def union_edges(self, other: "WeightedGraph") -> "WeightedGraph":
+        """Return a new graph whose edge set is the union of both graphs'.
+
+        If an edge appears in both graphs, the weight from ``self`` wins.
+        """
+        merged = other.copy()
+        for vertex in self._adjacency:
+            merged.add_vertex(vertex)
+        for u, v, weight in self.edges():
+            merged.add_edge(u, v, weight)
+        return merged
+
+    # ------------------------------------------------------------------
+    # Comparisons and representation
+    # ------------------------------------------------------------------
+    def same_edges(self, other: "WeightedGraph", tolerance: float = 0.0) -> bool:
+        """Return True if both graphs have the same edge set and weights.
+
+        Weights are compared up to an absolute ``tolerance``.
+        """
+        if self.number_of_edges != other.number_of_edges:
+            return False
+        for u, v, weight in self.edges():
+            if not other.has_edge(u, v):
+                return False
+            if abs(other.weight(u, v) - weight) > tolerance:
+                return False
+        return True
+
+    def is_subgraph_of(self, other: "WeightedGraph") -> bool:
+        """Return True if every vertex and edge of this graph appears in ``other``."""
+        for vertex in self._adjacency:
+            if not other.has_vertex(vertex):
+                return False
+        for u, v, _ in self.edges():
+            if not other.has_edge(u, v):
+                return False
+        return True
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._adjacency
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    def __repr__(self) -> str:
+        return (
+            f"WeightedGraph(n={self.number_of_vertices}, "
+            f"m={self.number_of_edges}, w={self.total_weight():.4g})"
+        )

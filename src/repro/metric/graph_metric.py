@@ -1,0 +1,87 @@
+"""The shortest-path metric ``M_G`` induced by a weighted graph.
+
+Section 2 of the paper: "We denote by ``M_G = (V, δ_G)`` the (shortest path)
+metric space induced by ``G``; we will view ``M_G`` as a complete weighted
+graph over the vertex set ``V``."  Observation 6 states that any MST of
+``M_G`` is a spanning tree of ``G`` — i.e. the two share a common MST — and
+the doubling-metric optimality argument (Theorem 5) runs the hypothetical
+competitor spanner on ``M_H``, the metric induced by the greedy spanner.
+
+This module materialises induced metrics eagerly (all-pairs Dijkstra) or
+lazily (per-source caching), and provides the Observation 6 / Observation 12
+checkers used by the optimality tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import DisconnectedGraphError
+from repro.graph.shortest_paths import single_source_distances
+from repro.graph.weighted_graph import Vertex, WeightedGraph
+from repro.metric.base import FiniteMetric, Point
+
+
+class GraphMetric(FiniteMetric):
+    """The metric space induced by the shortest-path distances of a connected graph.
+
+    Distances are computed lazily: the first query from a source vertex runs a
+    full Dijkstra from it and caches the result, so constructing the metric is
+    cheap and only the rows that are actually used are ever computed.
+    """
+
+    def __init__(self, graph: WeightedGraph) -> None:
+        self._graph = graph
+        self._points: list[Vertex] = list(graph.vertices())
+        self._rows: dict[Vertex, dict[Vertex, float]] = {}
+
+    @property
+    def graph(self) -> WeightedGraph:
+        """The underlying graph (not a copy; treat as read-only)."""
+        return self._graph
+
+    def points(self) -> Sequence[Point]:
+        return self._points
+
+    def _row(self, p: Vertex) -> dict[Vertex, float]:
+        if p not in self._rows:
+            row = single_source_distances(self._graph, p)
+            if len(row) != len(self._points):
+                raise DisconnectedGraphError(
+                    "the induced metric is only defined for connected graphs"
+                )
+            self._rows[p] = row
+        return self._rows[p]
+
+    def distance(self, p: Point, q: Point) -> float:
+        if p == q:
+            return 0.0
+        return self._row(p)[q]
+
+    def materialise(self) -> None:
+        """Eagerly compute every row of the distance matrix (all-pairs Dijkstra)."""
+        for p in self._points:
+            self._row(p)
+
+    def __repr__(self) -> str:
+        return f"GraphMetric(n={self.size}, edges={self._graph.number_of_edges})"
+
+
+def induced_metric(graph: WeightedGraph) -> GraphMetric:
+    """Return ``M_G``, the shortest-path metric induced by ``graph``."""
+    return GraphMetric(graph)
+
+
+def metric_preserves_graph_distances(
+    graph: WeightedGraph, metric: GraphMetric, *, tolerance: float = 1e-9
+) -> bool:
+    """Return True if ``metric.distance(u, v) ≤ w(u, v)`` for every edge of ``graph``.
+
+    The induced metric can only shrink edge "weights" (an edge's weight is an
+    upper bound on the shortest-path distance between its endpoints); this is
+    the sanity check the tests run on :class:`GraphMetric`.
+    """
+    for u, v, weight in graph.edges():
+        if metric.distance(u, v) > weight + tolerance:
+            return False
+    return True

@@ -1,0 +1,109 @@
+"""Θ-graph spanners for planar Euclidean point sets.
+
+The Θ-graph is one of the classic Euclidean spanner constructions the greedy
+spanner was compared against in the experimental studies the paper cites
+([FG05, Far08]): partition the plane around every point into ``cones`` equal
+angular cones and connect the point to the "nearest" point in each cone
+(nearest by projection onto the cone's bisector).  With ``cones = κ ≥ 9``
+cones the Θ-graph is a ``t(κ)``-spanner with
+``t(κ) = 1 / (cos θ − sin θ)``, ``θ = 2π/κ``, and at most ``κ·n`` edges.
+
+It is sparse and fast to build but notoriously *heavy* — exactly the contrast
+with the greedy spanner that experiment E6 reproduces.
+
+Only two-dimensional point sets are supported (the construction is specific
+to the plane); higher-dimensional workloads use the WSPD spanner instead.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import InvalidStretchError, MetricError
+from repro.core.spanner import Spanner
+from repro.metric.euclidean import EuclideanMetric
+
+
+def theta_graph_stretch(cones: int) -> float:
+    """Return the worst-case stretch of the Θ-graph with ``cones`` cones.
+
+    Valid for ``cones ≥ 9`` (below that the classic bound does not apply).
+    """
+    if cones < 9:
+        raise InvalidStretchError("the Θ-graph stretch bound requires at least 9 cones")
+    theta = 2.0 * math.pi / cones
+    return 1.0 / (math.cos(theta) - math.sin(theta))
+
+
+def cones_for_stretch(t: float) -> int:
+    """Return the smallest cone count whose Θ-graph stretch is at most ``t``."""
+    if t <= 1.0:
+        raise InvalidStretchError("the Θ-graph cannot achieve stretch 1")
+    cones = 9
+    while theta_graph_stretch(cones) > t:
+        cones += 1
+        if cones > 10_000:
+            raise InvalidStretchError(f"stretch {t} needs more than 10000 cones")
+    return cones
+
+
+def theta_graph_spanner(metric: EuclideanMetric, cones: int) -> Spanner:
+    """Build the Θ-graph on a planar Euclidean metric.
+
+    Parameters
+    ----------
+    metric:
+        A two-dimensional :class:`EuclideanMetric`.
+    cones:
+        The number of cones κ around every point (κ ≥ 9 for the stretch bound).
+
+    Returns
+    -------
+    Spanner
+        The Θ-graph with stretch bound ``theta_graph_stretch(cones)``.
+    """
+    if metric.dimension != 2:
+        raise MetricError("the Θ-graph construction requires 2-dimensional points")
+    if cones < 3:
+        raise InvalidStretchError("at least 3 cones are required")
+
+    coordinates = metric.coordinates
+    n = coordinates.shape[0]
+    base = metric.complete_graph()
+    subgraph = base.empty_spanning_subgraph()
+
+    cone_angle = 2.0 * math.pi / cones
+    stretch = theta_graph_stretch(cones) if cones >= 9 else float(cones)
+
+    for p in range(n):
+        deltas = coordinates - coordinates[p]
+        angles = np.arctan2(deltas[:, 1], deltas[:, 0])  # in (-pi, pi]
+        distances = np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
+        for cone_index in range(cones):
+            cone_start = -math.pi + cone_index * cone_angle
+            cone_end = cone_start + cone_angle
+            bisector = cone_start + cone_angle / 2.0
+            direction = np.array([math.cos(bisector), math.sin(bisector)])
+            best_point = -1
+            best_projection = math.inf
+            for q in range(n):
+                if q == p or distances[q] == 0.0:
+                    continue
+                if not (cone_start <= angles[q] < cone_end):
+                    continue
+                projection = float(np.dot(deltas[q], direction))
+                if projection < best_projection:
+                    best_projection = projection
+                    best_point = q
+            if best_point >= 0:
+                subgraph.add_edge(p, best_point, float(distances[best_point]))
+
+    return Spanner(
+        base=base,
+        subgraph=subgraph,
+        stretch=stretch,
+        algorithm="theta-graph",
+        metadata={"cones": float(cones)},
+    )

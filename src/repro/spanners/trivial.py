@@ -1,0 +1,69 @@
+"""Trivial spanner baselines: MST, complete graph, shortest-path tree.
+
+These anchor the two ends of the size/lightness spectrum in the comparison
+experiments:
+
+* the **MST** is the lightest possible connected subgraph (lightness exactly
+  1) but its stretch can be as bad as ``n - 1``,
+* the **complete graph** (or the input graph itself) has stretch exactly 1
+  but maximal size and weight,
+* a **shortest-path tree** has ``n - 1`` edges and stretch bounded by twice
+  the distance to the root, a classic cheap-but-weak baseline for broadcast
+  overlays (Section 1.1 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.spanner import Spanner
+from repro.graph.mst import kruskal_mst
+from repro.graph.shortest_paths import dijkstra
+from repro.graph.weighted_graph import Vertex, WeightedGraph
+from repro.metric.base import FiniteMetric
+
+
+def mst_spanner(graph: WeightedGraph) -> Spanner:
+    """Return the MST of ``graph`` packaged as a spanner (stretch up to ``n - 1``)."""
+    tree = kruskal_mst(graph)
+    return Spanner(
+        base=graph,
+        subgraph=tree,
+        stretch=float(max(graph.number_of_vertices - 1, 1)),
+        algorithm="mst",
+    )
+
+
+def identity_spanner(graph: WeightedGraph) -> Spanner:
+    """Return the graph itself as a (stretch-1) spanner."""
+    return Spanner(base=graph, subgraph=graph.copy(), stretch=1.0, algorithm="identity")
+
+
+def complete_metric_spanner(metric: FiniteMetric) -> Spanner:
+    """Return the complete graph of a metric as the stretch-1 spanner."""
+    complete = metric.complete_graph()
+    return Spanner(base=complete, subgraph=complete.copy(), stretch=1.0, algorithm="complete")
+
+
+def shortest_path_tree_spanner(
+    graph: WeightedGraph, root: Optional[Vertex] = None
+) -> Spanner:
+    """Return a shortest-path tree rooted at ``root`` (default: first vertex).
+
+    The stretch of a shortest-path tree is unbounded in general; the spanner
+    records ``n - 1`` as a safe upper bound for connected graphs.
+    """
+    if root is None:
+        root = next(iter(graph.vertices()))
+    _, predecessors = dijkstra(graph, root)
+    tree = graph.empty_spanning_subgraph()
+    for vertex, parent in predecessors.items():
+        if parent is not None:
+            tree.add_edge(vertex, parent, graph.weight(vertex, parent))
+    return Spanner(
+        base=graph,
+        subgraph=tree,
+        stretch=float(max(graph.number_of_vertices - 1, 1)),
+        algorithm="shortest-path-tree",
+        metadata={"root": 0.0},
+    )

@@ -1,0 +1,118 @@
+"""Stretch verification utilities shared by tests, examples and benchmarks.
+
+Section 2 of the paper notes that to bound the stretch of a spanner it
+suffices to look at the edges of the base graph; :func:`verify_spanner_edges`
+implements exactly that check.  For large instances an exact check is too
+slow, so :func:`verify_spanner_sampled` spot-checks random vertex pairs, and
+:func:`stretch_profile` returns the distribution of per-pair stretches used
+by the comparison experiment's summary statistics.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.spanner import Spanner
+from repro.graph.shortest_paths import pair_distance, single_source_distances
+from repro.graph.weighted_graph import WeightedGraph
+
+
+def verify_spanner_edges(
+    subgraph: WeightedGraph, base: WeightedGraph, t: float, *, tolerance: float = 1e-9
+) -> bool:
+    """Return True if ``subgraph`` stretches no base edge by more than ``t``."""
+    for u, v, weight in base.edges():
+        if pair_distance(subgraph, u, v) > t * weight * (1.0 + tolerance):
+            return False
+    return True
+
+
+def verify_spanner_sampled(
+    spanner: Spanner,
+    *,
+    samples: int = 200,
+    seed: Optional[int] = None,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Spot-check the stretch guarantee on ``samples`` random vertex pairs."""
+    rng = random.Random(seed)
+    vertices = list(spanner.base.vertices())
+    if len(vertices) < 2:
+        return True
+    for _ in range(samples):
+        u, v = rng.sample(vertices, 2)
+        base_distance = pair_distance(spanner.base, u, v)
+        if base_distance == 0.0 or math.isinf(base_distance):
+            continue
+        if pair_distance(spanner.subgraph, u, v) > spanner.stretch * base_distance * (
+            1.0 + tolerance
+        ):
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class StretchProfile:
+    """Summary statistics of the per-pair stretch distribution of a spanner."""
+
+    pairs_checked: int
+    max_stretch: float
+    mean_stretch: float
+    fraction_at_stretch_one: float
+
+    def as_row(self) -> dict[str, float]:
+        """Return the profile as a flat dictionary (one table row)."""
+        return {
+            "pairs_checked": float(self.pairs_checked),
+            "max_stretch": self.max_stretch,
+            "mean_stretch": self.mean_stretch,
+            "fraction_at_stretch_one": self.fraction_at_stretch_one,
+        }
+
+
+def stretch_profile(
+    spanner: Spanner,
+    *,
+    exact: bool = True,
+    samples: int = 500,
+    seed: Optional[int] = None,
+) -> StretchProfile:
+    """Compute the stretch distribution of a spanner.
+
+    With ``exact=True`` (the default) every vertex pair is measured via
+    all-pairs Dijkstra; otherwise ``samples`` random pairs are used.
+    """
+    vertices = list(spanner.base.vertices())
+    stretches: list[float] = []
+
+    if exact:
+        for source in vertices:
+            base_distances = single_source_distances(spanner.base, source)
+            spanner_distances = single_source_distances(spanner.subgraph, source)
+            for target, original in base_distances.items():
+                if target <= source if isinstance(target, int) and isinstance(source, int) else target == source:
+                    continue
+                if original == 0.0:
+                    continue
+                stretches.append(spanner_distances.get(target, math.inf) / original)
+    else:
+        rng = random.Random(seed)
+        for _ in range(samples):
+            u, v = rng.sample(vertices, 2)
+            original = pair_distance(spanner.base, u, v)
+            if original == 0.0 or math.isinf(original):
+                continue
+            stretches.append(pair_distance(spanner.subgraph, u, v) / original)
+
+    if not stretches:
+        return StretchProfile(0, 1.0, 1.0, 1.0)
+    at_one = sum(1 for s in stretches if s <= 1.0 + 1e-9)
+    return StretchProfile(
+        pairs_checked=len(stretches),
+        max_stretch=max(stretches),
+        mean_stretch=sum(stretches) / len(stretches),
+        fraction_at_stretch_one=at_one / len(stretches),
+    )

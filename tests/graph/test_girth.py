@@ -1,0 +1,68 @@
+"""Unit tests for girth computation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graph.generators import (
+    cycle_graph,
+    grid_graph,
+    high_girth_incidence_graph,
+    path_graph,
+    petersen_graph,
+)
+from repro.graph.girth import (
+    has_girth_at_least,
+    shortest_cycle_through_edge,
+    unweighted_girth,
+    weighted_girth,
+)
+from repro.graph.weighted_graph import WeightedGraph
+
+
+class TestUnweightedGirth:
+    def test_forest_has_infinite_girth(self):
+        assert unweighted_girth(path_graph(6)) == math.inf
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 8])
+    def test_cycle_girth_equals_length(self, n):
+        assert unweighted_girth(cycle_graph(n)) == n
+
+    def test_petersen_girth_is_five(self, petersen):
+        assert unweighted_girth(petersen) == 5
+
+    def test_grid_girth_is_four(self):
+        assert unweighted_girth(grid_graph(4, 4)) == 4
+
+    def test_triangle_plus_long_cycle(self):
+        graph = cycle_graph(10)
+        graph.add_edge(0, 2, 1.0)
+        assert unweighted_girth(graph) == 3
+
+    def test_projective_plane_incidence_graph_girth_six(self):
+        graph = high_girth_incidence_graph(2)
+        assert unweighted_girth(graph) == 6
+
+    def test_has_girth_at_least(self, petersen):
+        assert has_girth_at_least(petersen, 5)
+        assert not has_girth_at_least(petersen, 6)
+
+
+class TestWeightedGirth:
+    def test_weighted_girth_of_uniform_cycle(self):
+        assert weighted_girth(cycle_graph(5, weight=2.0)) == pytest.approx(10.0)
+
+    def test_weighted_girth_prefers_light_cycle(self):
+        graph = cycle_graph(4, weight=10.0)  # heavy square: weight 40
+        graph.add_edge(0, 2, 1.0)            # two light triangles of weight 21
+        assert weighted_girth(graph) == pytest.approx(21.0)
+
+    def test_weighted_girth_forest_infinite(self):
+        assert weighted_girth(path_graph(4)) == math.inf
+
+    def test_shortest_cycle_through_bridge_is_infinite(self):
+        graph = WeightedGraph(edges=[(1, 2, 1.0), (2, 3, 1.0), (3, 1, 1.0), (3, 4, 1.0)])
+        assert shortest_cycle_through_edge(graph, 3, 4) == math.inf
+        assert shortest_cycle_through_edge(graph, 1, 2) == pytest.approx(3.0)

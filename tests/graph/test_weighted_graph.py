@@ -1,0 +1,202 @@
+"""Unit tests for :class:`repro.graph.weighted_graph.WeightedGraph`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import (
+    EdgeNotFoundError,
+    InvalidWeightError,
+    SelfLoopError,
+    VertexNotFoundError,
+)
+from repro.graph.weighted_graph import WeightedGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = WeightedGraph()
+        assert graph.number_of_vertices == 0
+        assert graph.number_of_edges == 0
+        assert graph.total_weight() == 0.0
+
+    def test_initial_vertices(self):
+        graph = WeightedGraph(vertices=[1, 2, 3])
+        assert graph.number_of_vertices == 3
+        assert graph.number_of_edges == 0
+
+    def test_initial_edges(self):
+        graph = WeightedGraph(edges=[(1, 2, 1.5), (2, 3, 2.5)])
+        assert graph.number_of_vertices == 3
+        assert graph.number_of_edges == 2
+        assert graph.weight(1, 2) == 1.5
+
+    def test_add_vertex_idempotent(self):
+        graph = WeightedGraph()
+        graph.add_vertex("x")
+        graph.add_vertex("x")
+        assert graph.number_of_vertices == 1
+
+    def test_add_edge_creates_endpoints(self):
+        graph = WeightedGraph()
+        graph.add_edge("u", "v", 3.0)
+        assert graph.has_vertex("u") and graph.has_vertex("v")
+        assert graph.has_edge("u", "v") and graph.has_edge("v", "u")
+
+    def test_add_edge_overwrites_weight(self):
+        graph = WeightedGraph()
+        graph.add_edge(1, 2, 1.0)
+        graph.add_edge(1, 2, 5.0)
+        assert graph.number_of_edges == 1
+        assert graph.weight(1, 2) == 5.0
+        assert graph.weight(2, 1) == 5.0
+
+    def test_self_loop_rejected(self):
+        graph = WeightedGraph()
+        with pytest.raises(SelfLoopError):
+            graph.add_edge(1, 1, 1.0)
+
+    @pytest.mark.parametrize("bad_weight", [0.0, -1.0, math.inf, math.nan, "x"])
+    def test_invalid_weights_rejected(self, bad_weight):
+        graph = WeightedGraph()
+        with pytest.raises(InvalidWeightError):
+            graph.add_edge(1, 2, bad_weight)
+
+    def test_tuple_vertices(self):
+        graph = WeightedGraph()
+        graph.add_edge((0, 0), (0, 1), 1.0)
+        assert graph.has_edge((0, 1), (0, 0))
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        graph = WeightedGraph(edges=[(1, 2, 1.0), (2, 3, 1.0)])
+        graph.remove_edge(1, 2)
+        assert not graph.has_edge(1, 2)
+        assert graph.has_vertex(1)
+        assert graph.number_of_edges == 1
+
+    def test_remove_missing_edge_raises(self):
+        graph = WeightedGraph(vertices=[1, 2])
+        with pytest.raises(EdgeNotFoundError):
+            graph.remove_edge(1, 2)
+
+    def test_remove_vertex_removes_incident_edges(self):
+        graph = WeightedGraph(edges=[(1, 2, 1.0), (2, 3, 1.0), (1, 3, 1.0)])
+        graph.remove_vertex(2)
+        assert graph.number_of_vertices == 2
+        assert graph.number_of_edges == 1
+        assert not graph.has_edge(1, 2)
+
+    def test_remove_missing_vertex_raises(self):
+        with pytest.raises(VertexNotFoundError):
+            WeightedGraph().remove_vertex("ghost")
+
+
+class TestQueries:
+    def test_degree(self, triangle_graph):
+        assert triangle_graph.degree("a") == 2
+        assert triangle_graph.max_degree() == 2
+
+    def test_degree_missing_vertex(self, triangle_graph):
+        with pytest.raises(VertexNotFoundError):
+            triangle_graph.degree("zzz")
+
+    def test_weight_missing_edge(self, triangle_graph):
+        with pytest.raises(EdgeNotFoundError):
+            triangle_graph.weight("a", "zzz")
+
+    def test_neighbours(self, triangle_graph):
+        assert set(triangle_graph.neighbours("a")) == {"b", "c"}
+
+    def test_incident_pairs(self, triangle_graph):
+        incident = dict(triangle_graph.incident("a"))
+        assert incident == {"b": 1.0, "c": 4.0}
+
+    def test_edges_each_once(self, triangle_graph):
+        edges = list(triangle_graph.edges())
+        assert len(edges) == 3
+        endpoints = {frozenset((u, v)) for u, v, _ in edges}
+        assert len(endpoints) == 3
+
+    def test_edges_sorted_by_weight(self, triangle_graph):
+        weights = [w for _, _, w in triangle_graph.edges_sorted_by_weight()]
+        assert weights == sorted(weights)
+
+    def test_edges_sorted_deterministic_ties(self):
+        graph = WeightedGraph(edges=[(1, 2, 1.0), (3, 4, 1.0), (5, 6, 1.0)])
+        first = graph.edges_sorted_by_weight()
+        second = graph.edges_sorted_by_weight()
+        assert first == second
+
+    def test_total_weight(self, triangle_graph):
+        assert triangle_graph.total_weight() == pytest.approx(7.0)
+
+    def test_contains_and_len(self, triangle_graph):
+        assert "a" in triangle_graph
+        assert "zzz" not in triangle_graph
+        assert len(triangle_graph) == 3
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self, triangle_graph):
+        clone = triangle_graph.copy()
+        clone.remove_edge("a", "b")
+        assert triangle_graph.has_edge("a", "b")
+        assert not clone.has_edge("a", "b")
+
+    def test_empty_spanning_subgraph(self, triangle_graph):
+        empty = triangle_graph.empty_spanning_subgraph()
+        assert empty.number_of_vertices == 3
+        assert empty.number_of_edges == 0
+
+    def test_subgraph_with_edges(self, triangle_graph):
+        sub = triangle_graph.subgraph_with_edges([("a", "b")])
+        assert sub.number_of_edges == 1
+        assert sub.weight("a", "b") == 1.0
+        assert sub.number_of_vertices == 3
+
+    def test_subgraph_with_missing_edge_raises(self, triangle_graph):
+        with pytest.raises(EdgeNotFoundError):
+            triangle_graph.subgraph_with_edges([("a", "zzz")])
+
+    def test_union_edges(self):
+        g1 = WeightedGraph(edges=[(1, 2, 1.0)])
+        g2 = WeightedGraph(edges=[(2, 3, 2.0)])
+        merged = g1.union_edges(g2)
+        assert merged.number_of_edges == 2
+        assert merged.has_edge(1, 2) and merged.has_edge(2, 3)
+
+    def test_union_edges_prefers_self_weight(self):
+        g1 = WeightedGraph(edges=[(1, 2, 1.0)])
+        g2 = WeightedGraph(edges=[(1, 2, 9.0)])
+        merged = g1.union_edges(g2)
+        assert merged.weight(1, 2) == 1.0
+
+
+class TestComparisons:
+    def test_same_edges(self, triangle_graph):
+        assert triangle_graph.same_edges(triangle_graph.copy())
+
+    def test_same_edges_detects_difference(self, triangle_graph):
+        other = triangle_graph.copy()
+        other.remove_edge("a", "b")
+        assert not triangle_graph.same_edges(other)
+        assert not other.same_edges(triangle_graph)
+
+    def test_same_edges_weight_tolerance(self):
+        g1 = WeightedGraph(edges=[(1, 2, 1.0)])
+        g2 = WeightedGraph(edges=[(1, 2, 1.0 + 1e-12)])
+        assert g1.same_edges(g2, tolerance=1e-9)
+        assert not g1.same_edges(g2, tolerance=0.0)
+
+    def test_is_subgraph_of(self, triangle_graph):
+        sub = triangle_graph.subgraph_with_edges([("a", "b")])
+        assert sub.is_subgraph_of(triangle_graph)
+        assert not triangle_graph.is_subgraph_of(sub)
+
+    def test_repr_contains_counts(self, triangle_graph):
+        text = repr(triangle_graph)
+        assert "n=3" in text and "m=3" in text

@@ -1,0 +1,142 @@
+"""Unit tests for the finite-metric base classes."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import EmptyMetricError, MetricAxiomError
+from repro.metric.base import ExplicitMetric, ScaledMetric
+from repro.metric.euclidean import EuclideanMetric
+
+
+@pytest.fixture
+def square_metric() -> ExplicitMetric:
+    """Four points forming a unit square (explicit distances)."""
+    d = 2 ** 0.5
+    return ExplicitMetric(
+        ["a", "b", "c", "d"],
+        {
+            ("a", "b"): 1.0,
+            ("b", "c"): 1.0,
+            ("c", "d"): 1.0,
+            ("a", "d"): 1.0,
+            ("a", "c"): d,
+            ("b", "d"): d,
+        },
+    )
+
+
+class TestExplicitMetric:
+    def test_size_and_points(self, square_metric):
+        assert square_metric.size == 4
+        assert list(square_metric.points()) == ["a", "b", "c", "d"]
+
+    def test_distance_symmetry(self, square_metric):
+        assert square_metric.distance("a", "b") == square_metric.distance("b", "a")
+
+    def test_distance_to_self_is_zero(self, square_metric):
+        assert square_metric.distance("a", "a") == 0.0
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(MetricAxiomError):
+            ExplicitMetric(["x", "x"], {("x", "x"): 1.0})
+
+    def test_axioms_pass(self, square_metric):
+        square_metric.check_axioms()
+        assert square_metric.is_metric()
+
+    def test_axioms_catch_triangle_violation(self):
+        bad = ExplicitMetric(
+            [0, 1, 2],
+            {(0, 1): 1.0, (1, 2): 1.0, (0, 2): 5.0},
+        )
+        assert not bad.is_metric()
+        with pytest.raises(MetricAxiomError):
+            bad.check_axioms()
+
+    def test_axioms_catch_non_positive_distance(self):
+        bad = ExplicitMetric([0, 1], {(0, 1): 0.0})
+        with pytest.raises(MetricAxiomError):
+            bad.check_axioms()
+
+    def test_from_matrix(self):
+        metric = ExplicitMetric.from_matrix(
+            [[0, 1, 2], [1, 0, 1], [2, 1, 0]], validate=True
+        )
+        assert metric.distance(0, 2) == 2.0
+
+    def test_from_matrix_rejects_non_square(self):
+        with pytest.raises(MetricAxiomError):
+            ExplicitMetric.from_matrix([[0, 1], [1, 0, 3]])
+
+
+class TestDerivedQuantities:
+    def test_diameter_and_minimum_distance(self, square_metric):
+        assert square_metric.diameter() == pytest.approx(2 ** 0.5)
+        assert square_metric.minimum_distance() == pytest.approx(1.0)
+
+    def test_aspect_ratio(self, square_metric):
+        assert square_metric.aspect_ratio() == pytest.approx(2 ** 0.5)
+
+    def test_single_point_aspect_ratio(self):
+        metric = ExplicitMetric(["only"], {})
+        assert metric.diameter() == 0.0
+        assert metric.aspect_ratio() == 1.0
+
+    def test_ball(self, square_metric):
+        assert set(square_metric.ball("a", 1.0)) == {"a", "b", "d"}
+        assert set(square_metric.ball("a", 2.0)) == {"a", "b", "c", "d"}
+
+    def test_pairs_count(self, square_metric):
+        assert len(list(square_metric.pairs())) == 6
+
+
+class TestViews:
+    def test_complete_graph(self, square_metric):
+        graph = square_metric.complete_graph()
+        assert graph.number_of_vertices == 4
+        assert graph.number_of_edges == 6
+        assert graph.weight("a", "c") == pytest.approx(2 ** 0.5)
+
+    def test_complete_graph_empty_metric_raises(self):
+        # An EuclideanMetric cannot be empty, so build a degenerate explicit one.
+        metric = ExplicitMetric([], {})
+        with pytest.raises(EmptyMetricError):
+            metric.complete_graph()
+
+    def test_distance_matrix_symmetric_with_zero_diagonal(self, square_metric):
+        matrix = square_metric.distance_matrix()
+        for p in square_metric.points():
+            assert matrix[p][p] == 0.0
+            for q in square_metric.points():
+                assert matrix[p][q] == pytest.approx(matrix[q][p])
+
+    def test_restrict(self, square_metric):
+        sub = square_metric.restrict(["a", "b", "c"])
+        assert sub.size == 3
+        assert sub.distance("a", "c") == pytest.approx(2 ** 0.5)
+        sub.check_axioms()
+
+
+class TestScaledMetric:
+    def test_scaling_distances(self, square_metric):
+        scaled = ScaledMetric(square_metric, 3.0)
+        assert scaled.distance("a", "b") == pytest.approx(3.0)
+        assert scaled.diameter() == pytest.approx(3.0 * 2 ** 0.5)
+
+    def test_scaling_preserves_axioms(self, square_metric):
+        ScaledMetric(square_metric, 0.5).check_axioms()
+
+    def test_non_positive_factor_rejected(self, square_metric):
+        with pytest.raises(MetricAxiomError):
+            ScaledMetric(square_metric, 0.0)
+
+
+class TestEuclideanAsFiniteMetric:
+    def test_euclidean_metric_axioms(self, small_points):
+        small_points.check_axioms()
+
+    def test_euclidean_ball_contains_centre(self, small_points):
+        assert 0 in small_points.ball(0, 0.0)

@@ -1,0 +1,80 @@
+"""Unit tests for doubling-dimension estimation and the packing lemma."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.metric.doubling import (
+    doubling_constant_upper_bound,
+    doubling_dimension_upper_bound,
+    packing_number,
+    verify_observation9,
+    verify_packing_lemma,
+)
+from repro.metric.generators import line_points, uniform_points
+from repro.metric.graph_metric import GraphMetric
+from repro.core.greedy import greedy_spanner_of_metric
+
+
+class TestDoublingConstant:
+    def test_single_point(self):
+        metric = line_points(1)
+        assert doubling_constant_upper_bound(metric) == 1
+
+    def test_line_has_small_constant(self):
+        metric = line_points(30)
+        constant = doubling_constant_upper_bound(metric)
+        # A line (doubling dimension 1) needs only a handful of half-balls.
+        assert constant <= 8
+
+    def test_plane_constant_larger_than_line(self):
+        line = line_points(40)
+        plane = uniform_points(40, 2, seed=1)
+        assert doubling_constant_upper_bound(plane) >= doubling_constant_upper_bound(line)
+
+    def test_dimension_is_log_of_constant(self):
+        metric = uniform_points(30, 2, seed=2)
+        constant = doubling_constant_upper_bound(metric)
+        assert doubling_dimension_upper_bound(metric) == pytest.approx(math.log2(constant))
+
+    def test_constant_bounded_for_uniform_plane(self):
+        metric = uniform_points(60, 2, seed=3)
+        # The doubling constant of the plane is at most 7^2 = 49 in theory;
+        # the greedy-cover estimate must stay within a small factor of that.
+        assert doubling_constant_upper_bound(metric) <= 64
+
+
+class TestPackingLemma:
+    def test_packing_number_counts_separated_points(self):
+        metric = line_points(10, spacing=1.0)
+        # Ball of radius 4 around point 0 contains points 0..4; separation 1.5
+        # keeps every other point: {0, 2, 4}.
+        assert packing_number(metric, 0, 4.0, 1.5) == 3
+
+    def test_packing_lemma_holds_on_uniform_points(self):
+        metric = uniform_points(50, 2, seed=4)
+        constant = doubling_constant_upper_bound(metric)
+        diameter = metric.diameter()
+        for centre in range(0, 50, 10):
+            assert verify_packing_lemma(metric, centre, diameter / 2, diameter / 8, constant)
+
+    def test_packing_lemma_degenerate_inputs(self):
+        metric = line_points(5)
+        assert verify_packing_lemma(metric, 0, 0.0, 1.0, 2)
+        assert verify_packing_lemma(metric, 0, 1.0, 0.0, 2)
+
+
+class TestObservation9:
+    def test_spanner_metric_doubling_dimension_bounded(self):
+        """Observation 9: stretching by t ≤ 2 at most squares the doubling constant."""
+        metric = uniform_points(30, 2, seed=5)
+        spanner = greedy_spanner_of_metric(metric, 1.5)
+        stretched = GraphMetric(spanner.subgraph)
+        assert verify_observation9(metric, stretched, 1.5)
+
+    def test_observation9_rejects_large_stretch(self):
+        metric = uniform_points(10, 2, seed=6)
+        with pytest.raises(ValueError):
+            verify_observation9(metric, metric, 2.5)

@@ -1,0 +1,99 @@
+"""Unit tests for the numpy-backed Euclidean metric."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import EmptyMetricError, MetricAxiomError
+from repro.metric.euclidean import EuclideanMetric
+
+
+class TestConstruction:
+    def test_basic_distances(self):
+        metric = EuclideanMetric([[0.0, 0.0], [3.0, 4.0]])
+        assert metric.distance(0, 1) == pytest.approx(5.0)
+        assert metric.dimension == 2
+        assert metric.size == 2
+
+    def test_one_dimensional_input_reshaped(self):
+        metric = EuclideanMetric([0.0, 1.0, 3.0])
+        assert metric.dimension == 1
+        assert metric.distance(0, 2) == pytest.approx(3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyMetricError):
+            EuclideanMetric(np.empty((0, 2)))
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(MetricAxiomError):
+            EuclideanMetric([[1.0, 1.0], [1.0, 1.0]])
+
+    def test_three_dimensional_array_rejected(self):
+        with pytest.raises(MetricAxiomError):
+            EuclideanMetric(np.zeros((2, 2, 2)))
+
+
+class TestQueries:
+    def test_coordinates_are_copies(self):
+        metric = EuclideanMetric([[0.0, 0.0], [1.0, 0.0]])
+        coords = metric.coordinates
+        coords[0, 0] = 99.0
+        assert metric.distance(0, 1) == pytest.approx(1.0)
+
+    def test_nearest_neighbour(self):
+        metric = EuclideanMetric([[0.0, 0.0], [1.0, 0.0], [5.0, 0.0]])
+        neighbour, distance = metric.nearest_neighbour(0)
+        assert neighbour == 1
+        assert distance == pytest.approx(1.0)
+
+    def test_nearest_neighbour_single_point_raises(self):
+        with pytest.raises(EmptyMetricError):
+            EuclideanMetric([[0.0, 0.0]]).nearest_neighbour(0)
+
+    def test_distances_from(self):
+        metric = EuclideanMetric([[0.0, 0.0], [1.0, 0.0], [0.0, 2.0]])
+        distances = metric.distances_from(0)
+        assert distances[0] == 0.0
+        assert distances[1] == pytest.approx(1.0)
+        assert distances[2] == pytest.approx(2.0)
+
+    def test_pairwise_matrix_matches_pointwise(self, small_points):
+        matrix = small_points.pairwise_distance_matrix()
+        for p in range(0, small_points.size, 5):
+            for q in range(0, small_points.size, 7):
+                assert matrix[p, q] == pytest.approx(small_points.distance(p, q))
+
+    def test_pairwise_matrix_symmetric_zero_diagonal(self, small_points):
+        matrix = small_points.pairwise_distance_matrix()
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+
+class TestTransformations:
+    def test_translate_preserves_distances(self, small_points):
+        translated = small_points.translate([10.0, -3.0])
+        for p in range(0, small_points.size, 6):
+            for q in range(0, small_points.size, 4):
+                assert translated.distance(p, q) == pytest.approx(
+                    small_points.distance(p, q)
+                )
+
+    def test_scale_multiplies_distances(self, small_points):
+        scaled = small_points.scale(2.5)
+        assert scaled.distance(0, 1) == pytest.approx(2.5 * small_points.distance(0, 1))
+
+    def test_scale_rejects_non_positive(self, small_points):
+        with pytest.raises(MetricAxiomError):
+            small_points.scale(-1.0)
+
+    def test_triangle_inequality_sample(self, small_points):
+        n = small_points.size
+        for a in range(0, n, 5):
+            for b in range(0, n, 6):
+                for c in range(0, n, 7):
+                    assert small_points.distance(a, c) <= (
+                        small_points.distance(a, b) + small_points.distance(b, c) + 1e-9
+                    )

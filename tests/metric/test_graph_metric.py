@@ -1,0 +1,73 @@
+"""Unit tests for the graph-induced metric ``M_G``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DisconnectedGraphError
+from repro.graph.generators import path_graph, random_connected_graph
+from repro.graph.mst import mst_weight
+from repro.graph.shortest_paths import pair_distance
+from repro.graph.weighted_graph import WeightedGraph
+from repro.metric.graph_metric import (
+    GraphMetric,
+    induced_metric,
+    metric_preserves_graph_distances,
+)
+
+
+class TestGraphMetric:
+    def test_path_graph_distances(self):
+        metric = GraphMetric(path_graph(4, weight=2.0))
+        assert metric.distance(0, 3) == pytest.approx(6.0)
+        assert metric.distance(0, 0) == 0.0
+
+    def test_matches_pairwise_dijkstra(self, small_random_graph):
+        metric = induced_metric(small_random_graph)
+        vertices = list(small_random_graph.vertices())
+        for u in vertices[:8]:
+            for v in vertices[:8]:
+                assert metric.distance(u, v) == pytest.approx(
+                    pair_distance(small_random_graph, u, v)
+                )
+
+    def test_satisfies_metric_axioms(self, small_random_graph):
+        induced_metric(small_random_graph).restrict(
+            list(small_random_graph.vertices())[:10]
+        ).check_axioms()
+
+    def test_disconnected_graph_raises_on_query(self):
+        graph = WeightedGraph(vertices=[1, 2, 3])
+        graph.add_edge(1, 2, 1.0)
+        metric = GraphMetric(graph)
+        with pytest.raises(DisconnectedGraphError):
+            metric.distance(1, 3)
+
+    def test_materialise_caches_all_rows(self, small_random_graph):
+        metric = GraphMetric(small_random_graph)
+        metric.materialise()
+        assert len(metric._rows) == small_random_graph.number_of_vertices
+
+    def test_shortcuts_never_exceed_edge_weights(self, small_random_graph):
+        metric = induced_metric(small_random_graph)
+        assert metric_preserves_graph_distances(small_random_graph, metric)
+
+    def test_complete_graph_view_has_all_pairs(self):
+        graph = random_connected_graph(12, 0.2, seed=9)
+        complete = induced_metric(graph).complete_graph()
+        n = graph.number_of_vertices
+        assert complete.number_of_edges == n * (n - 1) // 2
+
+
+class TestObservation6Prerequisites:
+    def test_induced_metric_mst_weight_equals_graph_mst_weight(self):
+        """Observation 6: G and M_G share an MST, so the MST weights agree."""
+        graph = random_connected_graph(15, 0.25, seed=10)
+        metric_graph = induced_metric(graph).complete_graph()
+        assert mst_weight(metric_graph) == pytest.approx(mst_weight(graph))
+
+    def test_metric_distance_never_exceeds_graph_edge(self):
+        graph = random_connected_graph(15, 0.4, seed=11)
+        metric = induced_metric(graph)
+        for u, v, weight in graph.edges():
+            assert metric.distance(u, v) <= weight + 1e-9

@@ -1,0 +1,107 @@
+"""Unit tests for the metric / point-set workload generators."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.metric.generators import (
+    circle_points,
+    clustered_points,
+    concentric_shells_metric,
+    grid_points,
+    line_points,
+    perturbed_metric,
+    random_graph_metric,
+    spiral_points,
+    star_metric,
+    uniform_points,
+)
+
+
+class TestEuclideanGenerators:
+    def test_uniform_points_shape_and_range(self):
+        metric = uniform_points(50, 3, seed=1)
+        assert metric.size == 50
+        assert metric.dimension == 3
+        assert metric.diameter() <= math.sqrt(3) + 1e-9
+
+    def test_uniform_points_reproducible(self):
+        a = uniform_points(20, 2, seed=2)
+        b = uniform_points(20, 2, seed=2)
+        assert a.distance(0, 1) == b.distance(0, 1)
+
+    def test_clustered_points_have_smaller_mst_spread(self):
+        clustered = clustered_points(60, 2, clusters=3, cluster_radius=0.01, seed=3)
+        uniform = uniform_points(60, 2, seed=3)
+        # Clustered data has much larger aspect ratio (tiny within-cluster gaps).
+        assert clustered.aspect_ratio() > uniform.aspect_ratio()
+
+    def test_grid_points(self):
+        metric = grid_points(4, 2, spacing=2.0)
+        assert metric.size == 16
+        assert metric.minimum_distance() == pytest.approx(2.0)
+
+    def test_circle_points(self):
+        metric = circle_points(12, radius=2.0)
+        assert metric.size == 12
+        assert metric.diameter() == pytest.approx(4.0, rel=1e-6)
+
+    def test_line_points_equal_spacing(self):
+        metric = line_points(5, spacing=3.0)
+        assert metric.distance(0, 4) == pytest.approx(12.0)
+
+    def test_line_points_exponential(self):
+        metric = line_points(5, spacing=1.0, exponential=True)
+        assert metric.distance(0, 4) == pytest.approx(1 + 2 + 4 + 8)
+
+    def test_spiral_points_distinct(self):
+        metric = spiral_points(40, seed=4)
+        assert metric.size == 40
+        assert metric.minimum_distance() > 0.0
+
+    def test_concentric_shells(self):
+        metric = concentric_shells_metric(3, 8)
+        assert metric.size == 1 + 3 * 8
+        metric.check_axioms()
+
+
+class TestStarMetric:
+    def test_structure(self):
+        metric = star_metric(6)
+        assert metric.distance(0, 3) == 1.0
+        assert metric.distance(2, 5) == 2.0
+        metric.check_axioms()
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            star_metric(1)
+
+    def test_centre_distance_scaling(self):
+        metric = star_metric(4, centre_distance=3.0)
+        assert metric.distance(1, 2) == pytest.approx(6.0)
+
+
+class TestNonEuclideanGenerators:
+    def test_random_graph_metric_is_metric(self):
+        metric = random_graph_metric(12, seed=5)
+        metric.restrict(list(metric.points())[:8]).check_axioms()
+
+    def test_perturbed_metric_stays_metric(self):
+        base = uniform_points(12, 2, seed=6)
+        perturbed = perturbed_metric(base, relative_noise=0.2, seed=7)
+        perturbed.check_axioms()
+
+    def test_perturbed_metric_close_to_base(self):
+        base = uniform_points(10, 2, seed=8)
+        perturbed = perturbed_metric(base, relative_noise=0.1, seed=9)
+        for p in range(10):
+            for q in range(p + 1, 10):
+                ratio = perturbed.distance(p, q) / base.distance(p, q)
+                assert 0.99 <= ratio <= 1.11
+
+    def test_perturbed_metric_rejects_large_noise(self):
+        base = uniform_points(5, 2, seed=10)
+        with pytest.raises(ValueError):
+            perturbed_metric(base, relative_noise=0.9)

@@ -1,0 +1,90 @@
+"""Hypothesis property tests for the metric substrate."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.metric.euclidean import EuclideanMetric
+from repro.metric.generators import perturbed_metric
+from repro.metric.nets import greedy_net, is_r_net
+from repro.metric.doubling import packing_number
+
+
+@st.composite
+def euclidean_point_sets(draw, max_points: int = 15, dimension: int = 2):
+    """Generate a small Euclidean point set with distinct points."""
+    n = draw(st.integers(min_value=2, max_value=max_points))
+    coordinates = draw(
+        arrays(
+            dtype=float,
+            shape=(n, dimension),
+            elements=st.floats(min_value=-50.0, max_value=50.0, allow_nan=False, width=32),
+            unique=True,
+        )
+    )
+    # `unique=True` applies to scalar elements, not rows — deduplicate rows too.
+    rows = {tuple(row) for row in coordinates.tolist()}
+    if len(rows) < 2:
+        coordinates = np.vstack([coordinates[0], coordinates[0] + 1.0])
+        rows = {tuple(r) for r in coordinates.tolist()}
+    return EuclideanMetric(np.array(sorted(rows)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(euclidean_point_sets())
+def test_euclidean_metric_axioms_hold(metric):
+    metric.check_axioms()
+
+
+@settings(max_examples=40, deadline=None)
+@given(euclidean_point_sets(), st.floats(min_value=0.05, max_value=0.9))
+def test_greedy_net_is_always_a_valid_net(metric, fraction):
+    radius = max(metric.diameter() * fraction, 1e-9)
+    net = greedy_net(metric, radius)
+    assert is_r_net(metric, net, radius)
+    assert 1 <= len(net) <= metric.size
+
+
+@settings(max_examples=40, deadline=None)
+@given(euclidean_point_sets())
+def test_ball_membership_monotone_in_radius(metric):
+    centre = metric.points()[0]
+    small_ball = set(metric.ball(centre, metric.diameter() / 4))
+    big_ball = set(metric.ball(centre, metric.diameter() / 2))
+    assert small_ball.issubset(big_ball)
+    assert centre in small_ball
+
+
+@settings(max_examples=40, deadline=None)
+@given(euclidean_point_sets())
+def test_packing_number_bounded_by_ball_size(metric):
+    centre = metric.points()[0]
+    radius = metric.diameter() / 2
+    separation = radius / 2
+    packed = packing_number(metric, centre, radius, separation)
+    assert packed <= len(metric.ball(centre, radius))
+    assert packed >= 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(euclidean_point_sets(max_points=10), st.floats(min_value=0.0, max_value=0.4))
+def test_perturbed_metric_remains_a_metric(metric, noise):
+    perturbed = perturbed_metric(metric, relative_noise=noise, seed=0)
+    perturbed.check_axioms()
+
+
+@settings(max_examples=40, deadline=None)
+@given(euclidean_point_sets())
+def test_complete_graph_round_trip_distances(metric):
+    graph = metric.complete_graph()
+    points = metric.points()
+    for i in range(0, len(points), 3):
+        for j in range(i + 1, len(points), 3):
+            assert graph.weight(points[i], points[j]) == pytest.approx(
+                metric.distance(points[i], points[j])
+            )

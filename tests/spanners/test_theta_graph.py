@@ -1,0 +1,83 @@
+"""Unit tests for the Θ-graph Euclidean spanner."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import InvalidStretchError, MetricError
+from repro.metric.generators import circle_points, uniform_points
+from repro.spanners.theta_graph import (
+    cones_for_stretch,
+    theta_graph_spanner,
+    theta_graph_stretch,
+)
+
+
+class TestStretchFormulas:
+    def test_stretch_decreases_with_more_cones(self):
+        assert theta_graph_stretch(10) > theta_graph_stretch(20) > theta_graph_stretch(40)
+
+    def test_stretch_approaches_one(self):
+        assert theta_graph_stretch(1000) == pytest.approx(1.0, abs=0.01)
+
+    def test_too_few_cones_rejected(self):
+        with pytest.raises(InvalidStretchError):
+            theta_graph_stretch(8)
+
+    def test_cones_for_stretch_inverts_formula(self):
+        for t in (1.1, 1.3, 2.0):
+            cones = cones_for_stretch(t)
+            assert theta_graph_stretch(cones) <= t
+            if cones > 9:
+                assert theta_graph_stretch(cones - 1) > t
+
+    def test_cones_for_stretch_rejects_one(self):
+        with pytest.raises(InvalidStretchError):
+            cones_for_stretch(1.0)
+
+
+class TestConstruction:
+    def test_size_at_most_cones_times_n(self, medium_points):
+        cones = 12
+        spanner = theta_graph_spanner(medium_points, cones)
+        assert spanner.number_of_edges <= cones * medium_points.size
+
+    def test_stretch_guarantee_on_uniform_points(self, medium_points):
+        cones = cones_for_stretch(1.5)
+        spanner = theta_graph_spanner(medium_points, cones)
+        assert spanner.is_valid()
+
+    def test_stretch_guarantee_on_circle(self):
+        metric = circle_points(40)
+        spanner = theta_graph_spanner(metric, cones_for_stretch(1.3))
+        assert spanner.is_valid()
+
+    def test_requires_two_dimensions(self):
+        metric = uniform_points(20, 3, seed=1)
+        with pytest.raises(MetricError):
+            theta_graph_spanner(metric, 12)
+
+    def test_requires_minimum_cones(self, small_points):
+        with pytest.raises(InvalidStretchError):
+            theta_graph_spanner(small_points, 2)
+
+    def test_metadata_records_cones(self, small_points):
+        spanner = theta_graph_spanner(small_points, 15)
+        assert spanner.metadata["cones"] == 15.0
+
+    def test_sparser_than_complete_graph(self, medium_points):
+        spanner = theta_graph_spanner(medium_points, 10)
+        n = medium_points.size
+        assert spanner.number_of_edges < n * (n - 1) // 2
+
+    def test_heavier_than_greedy(self, medium_points):
+        """The contrast the paper's experimental citation describes: Θ-graphs
+        are fast and sparse-ish but much heavier than the greedy spanner."""
+        from repro.core.greedy import greedy_spanner_of_metric
+
+        stretch = 1.5
+        theta = theta_graph_spanner(medium_points, cones_for_stretch(stretch))
+        greedy = greedy_spanner_of_metric(medium_points, stretch)
+        assert theta.weight > greedy.weight

@@ -1,0 +1,107 @@
+"""Unit tests for the trivial baselines and the stretch verification helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.greedy import greedy_spanner
+from repro.core.spanner import Spanner
+from repro.graph.generators import path_graph, random_connected_graph
+from repro.graph.mst import kruskal_mst
+from repro.spanners.trivial import (
+    complete_metric_spanner,
+    identity_spanner,
+    mst_spanner,
+    shortest_path_tree_spanner,
+)
+from repro.spanners.verification import (
+    stretch_profile,
+    verify_spanner_edges,
+    verify_spanner_sampled,
+)
+
+
+class TestTrivialSpanners:
+    def test_mst_spanner_properties(self, small_random_graph):
+        spanner = mst_spanner(small_random_graph)
+        assert spanner.number_of_edges == small_random_graph.number_of_vertices - 1
+        assert spanner.lightness() == pytest.approx(1.0)
+        assert spanner.is_valid()  # stretch bound n-1 always holds for an MST
+
+    def test_identity_spanner(self, small_random_graph):
+        spanner = identity_spanner(small_random_graph)
+        assert spanner.number_of_edges == small_random_graph.number_of_edges
+        assert spanner.stretch == 1.0
+        assert spanner.is_valid()
+
+    def test_complete_metric_spanner(self, small_points):
+        spanner = complete_metric_spanner(small_points)
+        n = small_points.size
+        assert spanner.number_of_edges == n * (n - 1) // 2
+        assert spanner.is_valid()
+
+    def test_shortest_path_tree(self, medium_random_graph):
+        root = next(iter(medium_random_graph.vertices()))
+        spanner = shortest_path_tree_spanner(medium_random_graph, root)
+        assert spanner.number_of_edges == medium_random_graph.number_of_vertices - 1
+        # Distances from the root are preserved exactly.
+        from repro.graph.shortest_paths import single_source_distances
+
+        original = single_source_distances(medium_random_graph, root)
+        in_tree = single_source_distances(spanner.subgraph, root)
+        for vertex, distance in original.items():
+            assert in_tree[vertex] == pytest.approx(distance)
+
+    def test_shortest_path_tree_default_root(self, small_random_graph):
+        spanner = shortest_path_tree_spanner(small_random_graph)
+        assert spanner.number_of_edges == small_random_graph.number_of_vertices - 1
+
+
+class TestVerificationHelpers:
+    def test_verify_spanner_edges_accepts_valid(self, medium_random_graph):
+        spanner = greedy_spanner(medium_random_graph, 2.0)
+        assert verify_spanner_edges(spanner.subgraph, medium_random_graph, 2.0)
+
+    def test_verify_spanner_edges_rejects_invalid(self, medium_random_graph):
+        mst = kruskal_mst(medium_random_graph)
+        assert not verify_spanner_edges(mst, medium_random_graph, 1.05)
+
+    def test_verify_spanner_sampled(self, medium_random_graph):
+        spanner = greedy_spanner(medium_random_graph, 2.0)
+        assert verify_spanner_sampled(spanner, samples=80, seed=0)
+
+    def test_verify_spanner_sampled_trivial_graph(self):
+        graph = path_graph(1)
+        spanner = Spanner(base=graph, subgraph=graph.copy(), stretch=1.0)
+        assert verify_spanner_sampled(spanner, samples=5, seed=0)
+
+    def test_stretch_profile_exact(self, small_random_graph):
+        spanner = greedy_spanner(small_random_graph, 2.0)
+        profile = stretch_profile(spanner, exact=True)
+        assert profile.pairs_checked > 0
+        assert 1.0 <= profile.mean_stretch <= profile.max_stretch <= 2.0 + 1e-9
+        assert 0.0 <= profile.fraction_at_stretch_one <= 1.0
+
+    def test_stretch_profile_sampled(self, medium_random_graph):
+        spanner = greedy_spanner(medium_random_graph, 3.0)
+        profile = stretch_profile(spanner, exact=False, samples=60, seed=4)
+        assert profile.pairs_checked <= 60
+        assert profile.max_stretch <= 3.0 + 1e-9
+
+    def test_stretch_profile_identity_graph_all_ones(self, small_random_graph):
+        spanner = identity_spanner(small_random_graph)
+        profile = stretch_profile(spanner, exact=True)
+        assert profile.max_stretch == pytest.approx(1.0)
+        assert profile.fraction_at_stretch_one == pytest.approx(1.0)
+
+    def test_profile_as_row(self, small_random_graph):
+        spanner = greedy_spanner(small_random_graph, 2.0)
+        row = stretch_profile(spanner, exact=False, samples=20, seed=1).as_row()
+        assert set(row) == {
+            "pairs_checked",
+            "max_stretch",
+            "mean_stretch",
+            "fraction_at_stretch_one",
+        }

@@ -1,0 +1,112 @@
+"""Unit tests for the well-separated pair decomposition and the WSPD spanner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidStretchError
+from repro.metric.generators import uniform_points
+from repro.spanners.wspd import (
+    build_split_tree,
+    separation_for_stretch,
+    wspd_pairs,
+    wspd_spanner,
+)
+
+
+class TestSplitTree:
+    def test_leaves_partition_points(self, small_points):
+        root = build_split_tree(small_points.coordinates)
+
+        def collect_leaves(node):
+            if node.is_leaf:
+                return [node.indices[0]]
+            return collect_leaves(node.left) + collect_leaves(node.right)
+
+        leaves = collect_leaves(root)
+        assert sorted(leaves) == list(range(small_points.size))
+
+    def test_children_partition_parent(self, small_points):
+        root = build_split_tree(small_points.coordinates)
+        assert set(root.left.indices) | set(root.right.indices) == set(root.indices)
+        assert not (set(root.left.indices) & set(root.right.indices))
+
+    def test_bounding_boxes_contain_points(self, small_points):
+        coordinates = small_points.coordinates
+        root = build_split_tree(coordinates)
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            for index in node.indices:
+                assert np.all(coordinates[index] >= node.bounds_low - 1e-12)
+                assert np.all(coordinates[index] <= node.bounds_high + 1e-12)
+            if not node.is_leaf:
+                stack.extend([node.left, node.right])
+
+    def test_degenerate_identical_axis(self):
+        # All points on a vertical line: the longest-axis split must still work.
+        coordinates = np.array([[0.0, float(i)] for i in range(8)])
+        root = build_split_tree(coordinates)
+        assert len(root.indices) == 8
+
+
+class TestWspdPairs:
+    def test_every_pair_covered(self, small_points):
+        """Each point pair must be separated by exactly one WSPD pair (coverage)."""
+        root = build_split_tree(small_points.coordinates)
+        pairs = wspd_pairs(root, separation=2.0)
+        covered = set()
+        for a, b in pairs:
+            for p in a.indices:
+                for q in b.indices:
+                    key = (min(p, q), max(p, q))
+                    assert key not in covered, "pair covered twice"
+                    covered.add(key)
+        n = small_points.size
+        assert len(covered) == n * (n - 1) // 2
+
+    def test_pairs_are_well_separated(self, small_points):
+        separation = 3.0
+        root = build_split_tree(small_points.coordinates)
+        for a, b in wspd_pairs(root, separation):
+            radius = max(a.diameter(), b.diameter()) / 2.0
+            if radius == 0.0:
+                continue
+            gap = float(np.linalg.norm(a.centre() - b.centre())) - (
+                a.diameter() + b.diameter()
+            ) / 2.0
+            assert gap >= separation * radius - 1e-9
+
+    def test_more_separation_more_pairs(self, small_points):
+        root = build_split_tree(small_points.coordinates)
+        assert len(wspd_pairs(root, 4.0)) >= len(wspd_pairs(root, 1.0))
+
+
+class TestWspdSpanner:
+    def test_separation_formula(self):
+        assert separation_for_stretch(2.0) == pytest.approx(12.0)
+        with pytest.raises(InvalidStretchError):
+            separation_for_stretch(1.0)
+
+    @pytest.mark.parametrize("t", [1.5, 2.0])
+    def test_stretch_guarantee(self, small_points, t):
+        assert wspd_spanner(small_points, t).is_valid()
+
+    def test_linear_size(self, medium_points):
+        spanner = wspd_spanner(medium_points, 2.0)
+        n = medium_points.size
+        assert spanner.number_of_edges < n * (n - 1) // 2
+        assert spanner.metadata["pairs"] >= spanner.number_of_edges
+
+    def test_works_in_three_dimensions(self):
+        metric = uniform_points(30, 3, seed=5)
+        assert wspd_spanner(metric, 1.8).is_valid()
+
+    def test_heavier_than_greedy(self, medium_points):
+        from repro.core.greedy import greedy_spanner_of_metric
+
+        wspd = wspd_spanner(medium_points, 1.5)
+        greedy = greedy_spanner_of_metric(medium_points, 1.5)
+        assert wspd.weight > greedy.weight
+        assert wspd.number_of_edges > greedy.number_of_edges

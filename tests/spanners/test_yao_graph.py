@@ -1,0 +1,77 @@
+"""Unit tests for the Yao-graph Euclidean spanner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidStretchError, MetricError
+from repro.metric.generators import circle_points, uniform_points
+from repro.spanners.theta_graph import theta_graph_spanner
+from repro.spanners.yao_graph import (
+    yao_cones_for_stretch,
+    yao_graph_spanner,
+    yao_graph_stretch,
+)
+
+
+class TestStretchFormulas:
+    def test_stretch_decreases_with_more_cones(self):
+        assert yao_graph_stretch(8) > yao_graph_stretch(16) > yao_graph_stretch(64)
+
+    def test_stretch_approaches_one(self):
+        assert yao_graph_stretch(2000) == pytest.approx(1.0, abs=0.01)
+
+    def test_too_few_cones_rejected(self):
+        with pytest.raises(InvalidStretchError):
+            yao_graph_stretch(6)
+
+    def test_cones_for_stretch_inverts_formula(self):
+        for t in (1.2, 1.5, 3.0):
+            cones = yao_cones_for_stretch(t)
+            assert yao_graph_stretch(cones) <= t
+            if cones > 7:
+                assert yao_graph_stretch(cones - 1) > t
+
+    def test_cones_for_stretch_rejects_one(self):
+        with pytest.raises(InvalidStretchError):
+            yao_cones_for_stretch(0.9)
+
+
+class TestConstruction:
+    def test_size_at_most_cones_times_n(self, medium_points):
+        cones = 10
+        spanner = yao_graph_spanner(medium_points, cones)
+        assert spanner.number_of_edges <= cones * medium_points.size
+
+    def test_stretch_guarantee_on_uniform_points(self, medium_points):
+        spanner = yao_graph_spanner(medium_points, yao_cones_for_stretch(1.5))
+        assert spanner.is_valid()
+
+    def test_stretch_guarantee_on_circle(self):
+        metric = circle_points(36)
+        spanner = yao_graph_spanner(metric, yao_cones_for_stretch(1.4))
+        assert spanner.is_valid()
+
+    def test_requires_two_dimensions(self):
+        with pytest.raises(MetricError):
+            yao_graph_spanner(uniform_points(15, 3, seed=1), 12)
+
+    def test_requires_minimum_cones(self, small_points):
+        with pytest.raises(InvalidStretchError):
+            yao_graph_spanner(small_points, 2)
+
+    def test_metadata_records_cones(self, small_points):
+        assert yao_graph_spanner(small_points, 9).metadata["cones"] == 9.0
+
+    def test_comparable_to_theta_graph(self, medium_points):
+        """Yao and Θ differ in the per-cone selection rule but have the same
+        κ·n size envelope; both are heavier than greedy."""
+        cones = 12
+        yao = yao_graph_spanner(medium_points, cones)
+        theta = theta_graph_spanner(medium_points, cones)
+        assert abs(yao.number_of_edges - theta.number_of_edges) <= cones * medium_points.size
+
+        from repro.core.greedy import greedy_spanner_of_metric
+
+        greedy = greedy_spanner_of_metric(medium_points, yao.stretch)
+        assert yao.weight > greedy.weight

@@ -1,0 +1,73 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parses_experiment_command(self):
+        args = build_parser().parse_args(["experiment", "E1", "--quick"])
+        assert args.id == "E1"
+        assert args.quick is True
+
+    def test_parses_spanner_command_defaults(self):
+        args = build_parser().parse_args(["spanner", "grid-graph"])
+        assert args.workload == "grid-graph"
+        assert args.stretch == 2.0
+        assert args.measure_stretch is False
+
+
+class TestCommands:
+    def test_list_workloads(self, capsys):
+        assert main(["list-workloads"]) == 0
+        output = capsys.readouterr().out
+        assert "random-graph-small" in output
+        assert "uniform-2d-small" in output
+
+    def test_list_workloads_filtered(self, capsys):
+        assert main(["list-workloads", "--kind", "metric"]) == 0
+        output = capsys.readouterr().out
+        assert "uniform-2d-small" in output
+        assert "random-graph-small" not in output
+
+    def test_figure1(self, capsys):
+        assert main(["figure1", "--epsilon", "0.1"]) == 0
+        output = capsys.readouterr().out
+        assert "[E1]" in output
+        assert "petersen_edges_kept" in output
+
+    def test_experiment_quick(self, capsys):
+        assert main(["experiment", "E2", "--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "[E2]" in output
+        assert "fixed_point" in output
+
+    def test_experiment_lowercase_id(self, capsys):
+        assert main(["experiment", "e1", "--quick"]) == 0
+        assert "[E1]" in capsys.readouterr().out
+
+    def test_experiment_unknown_id(self, capsys):
+        assert main(["experiment", "E99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_compare_small(self, capsys):
+        assert main(["compare", "--n", "40"]) == 0
+        output = capsys.readouterr().out
+        assert "greedy" in output and "wspd" in output
+
+    def test_spanner_on_graph_workload(self, capsys):
+        assert main(["spanner", "grid-graph", "--stretch", "2.0"]) == 0
+        output = capsys.readouterr().out
+        assert "lightness" in output
+
+    def test_spanner_on_metric_workload(self, capsys):
+        assert main(["spanner", "uniform-2d-small", "--stretch", "1.5", "--measure-stretch"]) == 0
+        output = capsys.readouterr().out
+        assert "measured_stretch" in output

@@ -1,0 +1,46 @@
+"""Unit tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and obj is not errors.ReproError:
+                if obj.__module__ == "repro.errors":
+                    assert issubclass(obj, errors.ReproError), name
+
+    def test_key_errors_are_also_key_errors(self):
+        assert issubclass(errors.VertexNotFoundError, KeyError)
+        assert issubclass(errors.EdgeNotFoundError, KeyError)
+        assert issubclass(errors.UnknownWorkloadError, KeyError)
+
+    def test_value_errors_are_also_value_errors(self):
+        assert issubclass(errors.InvalidWeightError, ValueError)
+        assert issubclass(errors.InvalidStretchError, ValueError)
+        assert issubclass(errors.MetricAxiomError, ValueError)
+
+    def test_vertex_not_found_message(self):
+        error = errors.VertexNotFoundError("v17")
+        assert "v17" in str(error)
+        assert error.vertex == "v17"
+
+    def test_edge_not_found_message(self):
+        error = errors.EdgeNotFoundError(1, 2)
+        assert error.u == 1 and error.v == 2
+
+    def test_stretch_violation_carries_witness(self):
+        error = errors.StretchViolationError("a", "b", 10.0, 2.0, 3.0)
+        assert error.u == "a"
+        assert error.spanner_distance == 10.0
+        assert error.stretch == 3.0
+        assert "a" in str(error) and "b" in str(error)
+
+    def test_catching_base_class(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.DisconnectedGraphError("nope")

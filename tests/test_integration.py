@@ -1,0 +1,143 @@
+"""End-to-end integration tests across the whole library.
+
+Each test runs a realistic pipeline the way a downstream user would: build a
+workload, construct spanners with different algorithms, verify them, measure
+them, and feed them to the application layer.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+import repro
+from repro import (
+    EuclideanMetric,
+    WeightedGraph,
+    analyse_figure1,
+    approximate_greedy_spanner,
+    existential_optimality_certificate,
+    greedy_spanner,
+    greedy_spanner_of_metric,
+    metric_optimality_certificate,
+)
+from repro.core.optimality import verify_lemma3_self_spanner, verify_observation2
+from repro.distributed.broadcast import compare_broadcast_overlays
+from repro.experiments.workloads import get_workload
+from repro.graph.generators import random_geometric_graph
+from repro.metric.generators import uniform_points
+from repro.spanners.baswana_sen import baswana_sen_spanner
+from repro.spanners.trivial import mst_spanner
+from repro.spanners.verification import stretch_profile
+
+
+class TestPublicApi:
+    def test_version_and_exports(self):
+        assert repro.__version__
+        assert callable(repro.greedy_spanner)
+        assert set(repro.__all__) >= {
+            "greedy_spanner",
+            "approximate_greedy_spanner",
+            "analyse_figure1",
+        }
+
+    def test_quickstart_snippet(self):
+        """The snippet from the package docstring / README must keep working."""
+        from repro.graph.generators import random_connected_graph
+
+        graph = random_connected_graph(100, 0.1, seed=0)
+        spanner = greedy_spanner(graph, t=3.0)
+        assert spanner.number_of_edges < graph.number_of_edges
+        assert spanner.lightness() >= 1.0
+        assert spanner.is_valid()
+
+
+class TestGeneralGraphPipeline:
+    def test_greedy_vs_baseline_pipeline(self):
+        graph = get_workload("random-graph-small").build()
+        greedy = greedy_spanner(graph, 3.0)
+        baseline = baswana_sen_spanner(graph, 2, seed=0)
+
+        assert greedy.is_valid()
+        assert verify_observation2(greedy)
+        assert verify_lemma3_self_spanner(greedy)
+        assert greedy.number_of_edges <= baseline.number_of_edges
+        assert greedy.lightness() <= baseline.lightness() + 1e-9
+
+        certificate = existential_optimality_certificate(graph, 3.0)
+        assert certificate.holds()
+
+    def test_stretch_profile_pipeline(self):
+        graph = get_workload("grid-graph").build()
+        spanner = greedy_spanner(graph, 2.0)
+        profile = stretch_profile(spanner, exact=False, samples=100, seed=3)
+        assert profile.max_stretch <= 2.0 + 1e-9
+
+
+class TestDoublingMetricPipeline:
+    def test_metric_pipeline_exact_and_approximate(self):
+        metric = uniform_points(70, 2, seed=77)
+        exact = greedy_spanner_of_metric(metric, 1.5)
+        approx = approximate_greedy_spanner(metric, 0.5, base="theta")
+
+        assert exact.is_valid()
+        assert approx.is_valid()
+        assert exact.number_of_edges <= approx.number_of_edges
+        assert exact.weight <= approx.weight + 1e-9
+        assert approx.lightness() <= 3 * exact.lightness()
+
+        certificate = metric_optimality_certificate(
+            uniform_points(30, 2, seed=78), 1.5
+        )
+        assert certificate.holds()
+
+    def test_non_euclidean_metric_pipeline(self):
+        metric = get_workload("circle").build()
+        spanner = greedy_spanner_of_metric(metric, 1.3)
+        assert spanner.is_valid()
+        assert spanner.number_of_edges <= 5 * metric.size
+
+
+class TestFigure1Pipeline:
+    def test_full_figure1_analysis(self):
+        report = analyse_figure1(epsilon=0.1)
+        assert report.greedy_edges == 15
+        assert not report.greedy_is_universally_optimal
+        assert report.greedy_matches_petersen_on_petersen
+
+
+class TestDistributedPipeline:
+    def test_broadcast_over_constructed_overlays(self):
+        graph = random_geometric_graph(60, 0.22, seed=55)
+        overlays = {
+            "full": graph,
+            "greedy": greedy_spanner(graph, 1.5).subgraph,
+            "mst": mst_spanner(graph).subgraph,
+        }
+        results = {r.overlay_name: r for r in compare_broadcast_overlays(graph, overlays)}
+        assert results["greedy"].vertices_reached == graph.number_of_vertices
+        assert (
+            results["greedy"].statistics.total_communication_cost
+            < results["full"].statistics.total_communication_cost
+        )
+
+
+class TestCrossRepresentationConsistency:
+    def test_graph_and_metric_greedy_agree_on_complete_graph(self):
+        """Running greedy on a metric's complete graph directly or through the
+        metric wrapper must give the same spanner."""
+        metric = uniform_points(30, 2, seed=91)
+        via_metric = greedy_spanner_of_metric(metric, 1.4)
+        via_graph = greedy_spanner(metric.complete_graph(), 1.4)
+        assert via_metric.subgraph.same_edges(via_graph.subgraph)
+
+    def test_euclidean_metric_round_trip_through_graph(self):
+        metric = EuclideanMetric([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        graph = metric.complete_graph()
+        assert graph.number_of_edges == 6
+        spanner = greedy_spanner(graph, 1.1)
+        # The two unit-square diagonals are longer than any detour only by
+        # sqrt(2)/2 < 1.1 factor... the detour has weight 2 > 1.1*sqrt(2), so
+        # the diagonals stay.
+        assert spanner.number_of_edges == 6
