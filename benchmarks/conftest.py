@@ -21,6 +21,15 @@ import pytest
 _REPORTS: list[str] = []
 
 
+def pytest_configure(config):
+    """Register the markers used by the benchmark suite."""
+    config.addinivalue_line(
+        "markers",
+        "bench_regression: compares fresh BENCH_oracles.json operation counts "
+        "against the committed baseline (scripts/check_bench_regression.py)",
+    )
+
+
 def record_experiment_report(text: str) -> None:
     """Collect an experiment report for printing at the end of the session."""
     _REPORTS.append(text)

@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Compare a fresh ``BENCH_oracles.json`` against the committed baseline.
+
+The oracle benchmark (``repro bench-oracles``, or the matrix benchmark in
+``benchmarks/test_bench_oracle_matrix.py``) records *operation counts*
+(``dijkstra_settles``, ``distance_queries``) per oracle strategy.  Unlike
+wall-clock time these are deterministic for a fixed workload seed, so they
+can be diffed machine-independently: an operation-count increase means the
+hot path genuinely got slower, not that CI got a noisy neighbour.
+
+Usage (standalone)::
+
+    python scripts/check_bench_regression.py \
+        --fresh BENCH_oracles.json \
+        --baseline benchmarks/BENCH_oracles.json \
+        --threshold 0.25
+
+Exit code 1 if any strategy's operation count regressed by more than the
+threshold (default 25%) on any workload present in both files.  The pytest
+entry point lives in ``benchmarks/test_bench_oracle_matrix.py`` (marker
+``bench_regression``); both import :func:`find_regressions` below.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_THRESHOLD = 0.25
+
+#: Deterministic counters compared per strategy (mirrors
+#: ``repro.experiments.oracle_bench.OPERATION_COUNT_KEYS``; duplicated here so
+#: the script runs without PYTHONPATH set up).
+OPERATION_COUNT_KEYS = ("dijkstra_settles", "distance_queries")
+
+
+def load_document(path: str | Path) -> dict:
+    """Load one BENCH_oracles.json document."""
+    return json.loads(Path(path).read_text())
+
+
+def find_regressions(
+    baseline: dict, fresh: dict, *, threshold: float = DEFAULT_THRESHOLD
+) -> list[str]:
+    """Return human-readable regression descriptions (empty list = all good).
+
+    Only workload keys and strategies present in *both* documents are
+    compared; a regression is a fresh operation count exceeding the baseline
+    count by more than ``threshold`` (fractional, e.g. 0.25 = +25%).  An
+    edge-set mismatch recorded in the fresh run is always reported.
+    """
+    problems: list[str] = []
+    baseline_runs = baseline.get("runs", {})
+    fresh_runs = fresh.get("runs", {})
+    shared = sorted(set(baseline_runs) & set(fresh_runs))
+    if not shared:
+        problems.append("no shared workload keys between baseline and fresh runs")
+        return problems
+    for key in shared:
+        fresh_run = fresh_runs[key]
+        if not fresh_run.get("identical_edge_sets", True):
+            problems.append(f"{key}: oracle strategies produced different edge sets")
+        base_strategies = baseline_runs[key].get("strategies", {})
+        fresh_strategies = fresh_run.get("strategies", {})
+        for name in sorted(set(base_strategies) & set(fresh_strategies)):
+            for counter in OPERATION_COUNT_KEYS:
+                base_value = base_strategies[name].get(counter)
+                fresh_value = fresh_strategies[name].get(counter)
+                if base_value is None or fresh_value is None:
+                    continue
+                if base_value == 0:
+                    # A zero baseline must stay zero: any nonzero fresh count
+                    # is new work the gate would otherwise never see.
+                    if fresh_value > 0:
+                        problems.append(
+                            f"{key}: {name}.{counter} regressed from a zero "
+                            f"baseline to {fresh_value:.0f}"
+                        )
+                    continue
+                ratio = fresh_value / base_value
+                if ratio > 1.0 + threshold:
+                    problems.append(
+                        f"{key}: {name}.{counter} regressed {ratio:.2f}x "
+                        f"({base_value:.0f} -> {fresh_value:.0f}, "
+                        f"threshold {1.0 + threshold:.2f}x)"
+                    )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", default="BENCH_oracles.json", help="freshly emitted trajectory")
+    parser.add_argument(
+        "--baseline",
+        default="benchmarks/BENCH_oracles.json",
+        help="committed baseline trajectory",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed fractional operation-count increase (0.25 = +25%%)",
+    )
+    args = parser.parse_args(argv)
+
+    for path in (args.fresh, args.baseline):
+        if not Path(path).exists():
+            print(f"missing file: {path}", file=sys.stderr)
+            return 2
+
+    problems = find_regressions(
+        load_document(args.baseline), load_document(args.fresh), threshold=args.threshold
+    )
+    if problems:
+        print("operation-count regressions detected:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("no operation-count regressions (threshold +{:.0%})".format(args.threshold))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

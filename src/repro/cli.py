@@ -4,12 +4,15 @@ Entry points (also usable as ``python -m repro.cli <command>``):
 
 * ``list-workloads`` — print the workload registry.
 * ``figure1`` — reproduce the paper's Figure 1 example.
-* ``experiment <id>`` — run one experiment from DESIGN.md's index (E1–E8) and
-  print its table.  ``--quick`` shrinks the workloads.
+* ``experiment <id>`` — run one experiment from DESIGN.md's index (E1–E10)
+  and print its table.  ``--quick`` shrinks the workloads.
 * ``compare`` — run the Euclidean construction comparison on a chosen
   workload size and stretch.
 * ``spanner`` — build a greedy spanner of a registered workload and print its
   statistics.
+* ``bench-oracles`` — run the distance-oracle strategy matrix on a random
+  Euclidean metric, print the comparison table and merge the measurements
+  into a ``BENCH_oracles.json`` perf trajectory (see docs/PERFORMANCE.md).
 
 The CLI exists so the repository can be exercised without writing Python —
 e.g. ``python -m repro.cli experiment E3``.
@@ -21,6 +24,7 @@ import argparse
 import sys
 from typing import Callable, Optional, Sequence
 
+from repro.core.distance_oracle import ORACLE_FACTORIES
 from repro.core.greedy import greedy_spanner, greedy_spanner_of_metric
 from repro.experiments import experiments as exp
 from repro.experiments.harness import ExperimentResult
@@ -38,6 +42,7 @@ _EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "E7": exp.experiment_broadcast,
     "E8": exp.experiment_degree,
     "E9": exp.experiment_routing,
+    "E10": exp.experiment_oracle_matrix,
 }
 
 _QUICK_ARGUMENTS: dict[str, dict[str, object]] = {
@@ -50,6 +55,7 @@ _QUICK_ARGUMENTS: dict[str, dict[str, object]] = {
     "E7": {"n": 60},
     "E8": {"star_sizes": (10, 20), "euclidean_sizes": (40,)},
     "E9": {"n": 50, "demand_count": 40},
+    "E10": {"n": 60},
 }
 
 
@@ -96,12 +102,46 @@ def _command_spanner(args: argparse.Namespace) -> int:
     spec = get_workload(args.workload)
     instance = spec.build()
     if isinstance(instance, WeightedGraph):
-        spanner = greedy_spanner(instance, args.stretch)
+        spanner = greedy_spanner(instance, args.stretch, oracle=args.oracle)
     else:
-        spanner = greedy_spanner_of_metric(instance, args.stretch)
+        spanner = greedy_spanner_of_metric(instance, args.stretch, oracle=args.oracle)
     stats = spanner.statistics(measure_stretch=args.measure_stretch)
     print(render_table([stats.as_row()], title=f"greedy {args.stretch}-spanner of {spec.name}"))
     return 0
+
+
+def _command_bench_oracles(args: argparse.Namespace) -> int:
+    from repro.experiments.oracle_bench import (
+        euclidean_workload,
+        graph_workload,
+        merge_run_into_file,
+        render_rows,
+        run_oracle_matrix,
+        workload_key,
+    )
+
+    strategies = tuple(name.strip() for name in args.strategies.split(",") if name.strip())
+    unknown = [name for name in strategies if name not in ORACLE_FACTORIES]
+    if not strategies or unknown:
+        print(
+            f"unknown oracle strategies: {', '.join(unknown) or '(none given)'}; "
+            f"valid names: {', '.join(sorted(ORACLE_FACTORIES))}"
+        )
+        return 2
+    if args.kind == "euclidean":
+        workload = euclidean_workload(
+            n=args.n, dim=args.dim, seed=args.seed, stretch=args.stretch
+        )
+    else:
+        workload = graph_workload(n=args.n, p=args.p, seed=args.seed, stretch=args.stretch)
+    run = run_oracle_matrix(workload, strategies=strategies)
+    merge_run_into_file(args.output, run)
+    print(render_table(render_rows(run), title=f"oracle matrix: {workload_key(workload)}"))
+    for name, speedup in sorted(run.get("speedup_vs_bounded", {}).items()):
+        print(f"speedup vs bounded [{name}]: {speedup:.2f}x")
+    print(f"identical edge sets: {run['identical_edge_sets']}")
+    print(f"trajectory written to {args.output}")
+    return 0 if run["identical_edge_sets"] else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -121,7 +161,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure1_parser.add_argument("--stretch", type=float, default=3.0)
     figure1_parser.set_defaults(handler=_command_figure1)
 
-    experiment_parser = subparsers.add_parser("experiment", help="run one experiment (E1-E8)")
+    experiment_parser = subparsers.add_parser("experiment", help="run one experiment (E1-E10)")
     experiment_parser.add_argument("id", help="experiment id, e.g. E3")
     experiment_parser.add_argument("--quick", action="store_true", help="use reduced workloads")
     experiment_parser.set_defaults(handler=_command_experiment)
@@ -136,7 +176,40 @@ def build_parser() -> argparse.ArgumentParser:
     spanner_parser.add_argument("workload", help="workload name (see list-workloads)")
     spanner_parser.add_argument("--stretch", type=float, default=2.0)
     spanner_parser.add_argument("--measure-stretch", action="store_true")
+    spanner_parser.add_argument(
+        "--oracle",
+        choices=sorted(ORACLE_FACTORIES),
+        default="cached",
+        help="distance-oracle strategy for the greedy inner query",
+    )
     spanner_parser.set_defaults(handler=_command_spanner)
+
+    bench_parser = subparsers.add_parser(
+        "bench-oracles",
+        help="benchmark the distance-oracle strategies and emit BENCH_oracles.json",
+    )
+    bench_parser.add_argument(
+        "--kind",
+        choices=["euclidean", "graph"],
+        default="euclidean",
+        help="workload family: uniform Euclidean points or an Erdős–Rényi graph",
+    )
+    bench_parser.add_argument("--n", type=int, default=400, help="number of points / vertices")
+    bench_parser.add_argument("--dim", type=int, default=2, help="dimension (euclidean only)")
+    bench_parser.add_argument(
+        "--p", type=float, default=0.15, help="edge probability (graph only)"
+    )
+    bench_parser.add_argument("--seed", type=int, default=7)
+    bench_parser.add_argument("--stretch", type=float, default=2.0)
+    bench_parser.add_argument(
+        "--strategies",
+        default="bounded,bidirectional,cached",
+        help="comma-separated oracle names to bench",
+    )
+    bench_parser.add_argument(
+        "--output", default="BENCH_oracles.json", help="JSON trajectory file to merge into"
+    )
+    bench_parser.set_defaults(handler=_command_bench_oracles)
 
     return parser
 

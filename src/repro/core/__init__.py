@@ -13,6 +13,14 @@ from repro.core.approximate_greedy import (
     derive_parameters,
 )
 from repro.core.cluster_graph import ClusterGraph
+from repro.core.distance_oracle import (
+    BidirectionalDijkstraOracle,
+    BoundedDijkstraOracle,
+    CachedDijkstraOracle,
+    DistanceOracle,
+    FullDijkstraOracle,
+    make_oracle,
+)
 from repro.core.optimality import (
     Figure1Report,
     OptimalityCertificate,
@@ -49,6 +57,12 @@ __all__ = [
     "approximate_greedy_spanner",
     "derive_parameters",
     "ClusterGraph",
+    "BidirectionalDijkstraOracle",
+    "BoundedDijkstraOracle",
+    "CachedDijkstraOracle",
+    "DistanceOracle",
+    "FullDijkstraOracle",
+    "make_oracle",
     "Figure1Report",
     "OptimalityCertificate",
     "analyse_figure1",

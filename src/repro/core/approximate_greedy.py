@@ -253,14 +253,21 @@ def _partition_into_buckets(
         return []
     if lower_bound <= 0.0:
         lower_bound = edges[0][2] / ratio
+    log_ratio = math.log(ratio)
     buckets: dict[int, list[tuple]] = {}
     for edge in edges:
         weight = edge[2]
-        index = 0
-        boundary = lower_bound * ratio
-        while weight > boundary:
+        # The bucket index is the smallest i >= 0 with
+        # weight <= lower_bound * ratio^(i+1); computing it via log replaces
+        # the former per-step `ratio ** (index + 1)` scan (quadratic in the
+        # bucket index).  Floating-point log can be off by one at the exact
+        # boundaries, so nudge with the original comparison to keep bucket
+        # assignment bit-identical to the scan.
+        index = max(0, math.ceil(math.log(weight / lower_bound) / log_ratio) - 1)
+        while weight > lower_bound * (ratio ** (index + 1)):
             index += 1
-            boundary = lower_bound * (ratio ** (index + 1))
+        while index > 0 and weight <= lower_bound * (ratio ** index):
+            index -= 1
         buckets.setdefault(index, []).append(edge)
     result = []
     for index in sorted(buckets):

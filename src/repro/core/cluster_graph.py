@@ -33,33 +33,12 @@ their clusters; the cluster edge weight is a *path upper bound*
 
 from __future__ import annotations
 
-import heapq
 import math
 from collections.abc import Iterable
 
+from repro.graph.indexed_graph import IndexedGraph
+from repro.graph.shortest_paths import indexed_ball, indexed_dijkstra_with_cutoff
 from repro.graph.weighted_graph import Vertex, WeightedGraph
-
-
-def _bounded_dijkstra_all(
-    graph: WeightedGraph, source: Vertex, radius: float
-) -> dict[Vertex, float]:
-    """Return distances from ``source`` to every vertex within ``radius`` in ``graph``."""
-    distances: dict[Vertex, float] = {}
-    heap: list[tuple[float, int, Vertex]] = [(0.0, 0, source)]
-    counter = 0
-    while heap:
-        dist, _, vertex = heapq.heappop(heap)
-        if vertex in distances:
-            continue
-        distances[vertex] = dist
-        for neighbour, weight in graph.incident(vertex):
-            if neighbour in distances:
-                continue
-            new_dist = dist + weight
-            if new_dist <= radius:
-                counter += 1
-                heapq.heappush(heap, (new_dist, counter, neighbour))
-    return distances
 
 
 class ClusterGraph:
@@ -84,6 +63,7 @@ class ClusterGraph:
         self.offset_of: dict[Vertex, float] = {}
         self.centres: list[Vertex] = []
         self.graph = WeightedGraph()
+        self._cluster_index = IndexedGraph()
         self.rebuild_count = 0
         self.query_count = 0
         self._build()
@@ -92,38 +72,60 @@ class ClusterGraph:
     # Construction
     # ------------------------------------------------------------------
     def _build(self) -> None:
-        """(Re)build the clusters and the cluster graph from the current spanner."""
+        """(Re)build the clusters and the cluster graph from the current spanner.
+
+        The construction runs on an indexed snapshot of the spanner: one ball
+        search per cluster centre dominates the rebuild cost, so the searches
+        run over flat integer adjacency arrays (see ``docs/PERFORMANCE.md``).
+        """
         self.centre_of.clear()
         self.offset_of.clear()
         self.centres = []
         self.graph = WeightedGraph()
         self.rebuild_count += 1
 
-        # Greedy clustering: scan vertices; any vertex not yet covered becomes
-        # a centre and absorbs everything within spanner distance `radius`.
-        for vertex in self.spanner.vertices():
-            if vertex in self.centre_of:
+        index = IndexedGraph.from_weighted_graph(self.spanner)
+        n = index.number_of_vertices
+        centre_id_of: list[int] = [-1] * n
+        offset_id_of: list[float] = [0.0] * n
+
+        # Greedy clustering: scan vertices (in id order, which is exactly the
+        # spanner's vertex order); any vertex not yet covered becomes a centre
+        # and absorbs everything within spanner distance `radius`.
+        for vid in range(n):
+            if centre_id_of[vid] >= 0:
                 continue
+            vertex = index.vertex_of(vid)
             self.centres.append(vertex)
             self.graph.add_vertex(vertex)
-            reachable = _bounded_dijkstra_all(self.spanner, vertex, self.radius)
+            reachable = indexed_ball(index, vid, self.radius)
             for member, offset in reachable.items():
                 # Keep the closest centre for each member.
-                if member not in self.centre_of or offset < self.offset_of[member]:
-                    self.centre_of[member] = vertex
-                    self.offset_of[member] = offset
+                if centre_id_of[member] < 0 or offset < offset_id_of[member]:
+                    centre_id_of[member] = vid
+                    offset_id_of[member] = offset
         # Vertices isolated in the spanner become their own centres too
         # (handled above since Dijkstra from them reaches themselves at 0).
 
-        # Cluster edges: for each spanner edge joining two clusters, add a
-        # cluster edge with a path-upper-bound weight.
-        for u, v, weight in self.spanner.edges():
-            cu, cv = self.centre_of[u], self.centre_of[v]
+        for vid in range(n):
+            self.centre_of[index.vertex_of(vid)] = index.vertex_of(centre_id_of[vid])
+            self.offset_of[index.vertex_of(vid)] = offset_id_of[vid]
+
+        # Cluster edges: for each spanner edge joining two clusters, keep the
+        # smallest path-upper-bound weight per centre pair.
+        bounds: dict[tuple[int, int], float] = {}
+        for uid, vid, weight in index.edges():
+            cu, cv = centre_id_of[uid], centre_id_of[vid]
             if cu == cv:
                 continue
-            bound = self.offset_of[u] + weight + self.offset_of[v]
-            if not self.graph.has_edge(cu, cv) or bound < self.graph.weight(cu, cv):
-                self.graph.add_edge(cu, cv, bound)
+            bound = offset_id_of[uid] + weight + offset_id_of[vid]
+            key = (cu, cv) if cu <= cv else (cv, cu)
+            existing = bounds.get(key)
+            if existing is None or bound < existing:
+                bounds[key] = bound
+        for (cu, cv), bound in bounds.items():
+            self.graph.add_edge(index.vertex_of(cu), index.vertex_of(cv), bound)
+        self._cluster_index = IndexedGraph.from_weighted_graph(self.graph)
 
     def rebuild(self, radius: float | None = None) -> None:
         """Rebuild the clusters, optionally at a new radius (bucket transition)."""
@@ -159,26 +161,15 @@ class ClusterGraph:
         budget = cutoff - slack
         if budget < 0:
             return math.inf
-        settled: set[Vertex] = set()
-        heap: list[tuple[float, int, Vertex]] = [(0.0, 0, cu)]
-        counter = 0
-        while heap:
-            dist, _, vertex = heapq.heappop(heap)
-            if dist > budget:
-                return math.inf
-            if vertex in settled:
-                continue
-            settled.add(vertex)
-            if vertex == cv:
-                return dist + slack
-            for neighbour, weight in self.graph.incident(vertex):
-                if neighbour in settled:
-                    continue
-                new_dist = dist + weight
-                if new_dist <= budget:
-                    counter += 1
-                    heapq.heappush(heap, (new_dist, counter, neighbour))
-        return math.inf
+        distance, _ = indexed_dijkstra_with_cutoff(
+            self._cluster_index,
+            self._cluster_index.id_of(cu),
+            self._cluster_index.id_of(cv),
+            budget,
+        )
+        if distance == math.inf:
+            return math.inf
+        return distance + slack
 
     # ------------------------------------------------------------------
     # Updates
@@ -196,6 +187,7 @@ class ClusterGraph:
         bound = self.offset_of[u] + weight + self.offset_of[v]
         if not self.graph.has_edge(cu, cv) or bound < self.graph.weight(cu, cv):
             self.graph.add_edge(cu, cv, bound)
+            self._cluster_index.add_edge(cu, cv, bound)
 
     def check_never_underestimates(
         self, pairs: Iterable[tuple[Vertex, Vertex]], *, tolerance: float = 1e-9

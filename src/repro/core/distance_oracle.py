@@ -4,15 +4,33 @@ The greedy algorithm (Algorithm 1) asks, for each candidate edge ``(u, v)``,
 whether ``δ_H(u, v) > t · w(u, v)`` in the *current*, growing spanner ``H``.
 How this query is answered dominates the algorithm's running time, so the
 query strategy is factored out behind the :class:`DistanceOracle` interface.
-Two strategies are provided:
+Four strategies are provided:
 
 * :class:`BoundedDijkstraOracle` — the textbook strategy: a Dijkstra from
   ``u`` pruned at the cutoff ``t · w(u, v)``.  Exact, and the strategy used by
   every careful greedy-spanner implementation (Bose et al. 2010).
 * :class:`FullDijkstraOracle` — an unpruned Dijkstra from ``u``; slower, kept
   as a cross-check in the tests and to measure how much the pruning saves.
+* :class:`BidirectionalDijkstraOracle` — meet-in-the-middle bounded Dijkstra
+  over the dense-integer :class:`~repro.graph.indexed_graph.IndexedGraph`
+  fast path: two half-radius balls instead of one full-radius ball, a
+  super-linear win on dense instances such as the metric setting.
+* :class:`CachedDijkstraOracle` — single-source ball searches plus monotone
+  upper-bound caching.  Distances in the growing spanner only *shrink*, so
+  any certified bound ``δ_H(u, v) ≤ d`` stays valid forever; the oracle
+  harvests the settled ball of every search as certified bounds (answering
+  all candidate pairs ``(u, ·)`` touched by one pruned search at once) and
+  skips Dijkstra entirely whenever a cached bound already decides a query.
+  This is the default strategy of :func:`~repro.core.greedy.greedy_spanner`.
 
-Both oracles count the number of queries and the number of heap settles so
+All four strategies return *identical* greedy spanners: each answers "is
+``δ_H(u, v) ≤ cutoff``?" exactly as the textbook oracle would (a cached upper
+bound ``d ≤ cutoff`` implies the true distance is also within the cutoff, so
+the greedy decision is unchanged).  The equivalence is exercised
+property-style in ``tests/core/test_oracle_equivalence.py``; the strategy
+trade-offs and measurements are documented in ``docs/PERFORMANCE.md``.
+
+All oracles count the number of queries and the number of heap settles so
 that the experiments can report *operation counts* alongside wall-clock time
 (Python constant factors make wall clock a poor proxy for the asymptotics the
 paper talks about).
@@ -24,6 +42,14 @@ import abc
 import heapq
 import math
 
+from repro.errors import VertexNotFoundError
+from repro.graph.indexed_graph import IndexedGraph
+from repro.graph.shortest_paths import (
+    dijkstra_with_cutoff_stats,
+    indexed_ball,
+    indexed_bidirectional_cutoff,
+    indexed_dijkstra_with_cutoff,
+)
 from repro.graph.weighted_graph import Vertex, WeightedGraph
 
 
@@ -37,13 +63,26 @@ class DistanceOracle(abc.ABC):
 
     @abc.abstractmethod
     def distance_within(self, u: Vertex, v: Vertex, cutoff: float) -> float:
-        """Return ``δ_H(u, v)`` if it is at most ``cutoff``, else ``math.inf``."""
+        """Return ``δ_H(u, v)`` if it is at most ``cutoff``, else ``math.inf``.
+
+        Stateful strategies may instead return a certified *upper bound* on
+        ``δ_H(u, v)`` that is at most ``cutoff`` — either answer yields the
+        same greedy decision.
+        """
 
     def notify_edge_added(self, u: Vertex, v: Vertex, weight: float) -> None:
         """Hook called by the greedy loop after an edge is added to ``H``.
 
         The base implementation does nothing; stateful oracles may override.
         """
+
+    def extra_metadata(self) -> dict[str, float]:
+        """Strategy-specific counters merged into the ``Spanner`` metadata.
+
+        The base implementation reports nothing; stateful oracles add their
+        own counters (e.g. the caching oracle's hit/miss counts).
+        """
+        return {}
 
     def reset_counters(self) -> None:
         """Zero the query/settle counters."""
@@ -58,27 +97,9 @@ class BoundedDijkstraOracle(DistanceOracle):
         self.query_count += 1
         if u == v:
             return 0.0
-        settled: set[Vertex] = set()
-        heap: list[tuple[float, int, Vertex]] = [(0.0, 0, u)]
-        counter = 0
-        while heap:
-            dist, _, vertex = heapq.heappop(heap)
-            if dist > cutoff:
-                return math.inf
-            if vertex in settled:
-                continue
-            settled.add(vertex)
-            self.settled_count += 1
-            if vertex == v:
-                return dist
-            for neighbour, weight in self.spanner.incident(vertex):
-                if neighbour in settled:
-                    continue
-                new_dist = dist + weight
-                if new_dist <= cutoff:
-                    counter += 1
-                    heapq.heappush(heap, (new_dist, counter, neighbour))
-        return math.inf
+        distance, settles = dijkstra_with_cutoff_stats(self.spanner, u, v, cutoff)
+        self.settled_count += settles
+        return distance
 
 
 class FullDijkstraOracle(DistanceOracle):
@@ -108,17 +129,181 @@ class FullDijkstraOracle(DistanceOracle):
         return result if result <= cutoff else math.inf
 
 
+class _IndexedOracle(DistanceOracle):
+    """Shared plumbing of the fast-path oracles: an indexed mirror of ``H``.
+
+    The mirror interns every spanner vertex to a dense integer id at
+    construction time and is kept in sync through :meth:`notify_edge_added`
+    (the greedy loop's mutation hook), so the inner searches run on flat
+    integer adjacency arrays instead of the vertex-keyed dicts.  Direct
+    mutations of the spanner that bypass the hook are not observed.
+    """
+
+    def __init__(self, spanner: WeightedGraph) -> None:
+        super().__init__(spanner)
+        self._index = IndexedGraph.from_weighted_graph(spanner)
+
+    def notify_edge_added(self, u: Vertex, v: Vertex, weight: float) -> None:
+        # The greedy loop adds each edge at most once, so the mirror can take
+        # the raw-append path and skip add_edge's O(degree) duplicate scan.
+        self._index.append_edge_unchecked(u, v, weight)
+
+    def _vertex_id(self, vertex: Vertex) -> int:
+        try:
+            return self._index.id_of(vertex)
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+
+class BidirectionalDijkstraOracle(_IndexedOracle):
+    """Meet-in-the-middle bounded Dijkstra on the indexed fast path.
+
+    Grows a ball around ``u`` and a ball around ``v`` simultaneously; each
+    ball only needs radius ``≈ δ/2``, and ball volume grows super-linearly
+    with radius on dense spanners, so the two half-balls settle far fewer
+    vertices than the single full ball of :class:`BoundedDijkstraOracle`.
+
+    The meeting distance sums the two half-paths in a different float
+    association order than a forward-only Dijkstra, so at an *exact* cutoff
+    boundary (``δ_H(u, v) == t·w(u, v)``, common with decimal weights) the
+    two can disagree by 1 ULP — enough to flip a greedy verdict and break
+    the identical-spanner invariant.  Queries landing within a relative
+    ``1e-9`` band of the cutoff (far wider than any accumulated rounding,
+    and vanishingly rare on continuous weights) are therefore re-answered
+    with the forward-order search that defines the reference semantics.
+    """
+
+    #: Relative half-width of the boundary band re-checked in forward order.
+    BOUNDARY_GUARD = 1e-9
+
+    def distance_within(self, u: Vertex, v: Vertex, cutoff: float) -> float:
+        self.query_count += 1
+        if u == v:
+            return 0.0
+        uid = self._vertex_id(u)
+        vid = self._vertex_id(v)
+        guard = 0.0 if math.isinf(cutoff) else cutoff * self.BOUNDARY_GUARD
+        distance, settled_f, settled_b = indexed_bidirectional_cutoff(
+            self._index, uid, vid, cutoff + guard
+        )
+        self.settled_count += len(settled_f) + len(settled_b)
+        if distance <= cutoff - guard:
+            return distance
+        if distance == math.inf:
+            # No path within cutoff+guard under this summation order means
+            # every path exceeds the cutoff under the forward order too.
+            return math.inf
+        # Within the boundary band: defer to the forward-order search.
+        distance, settled = indexed_dijkstra_with_cutoff(self._index, uid, vid, cutoff)
+        self.settled_count += len(settled)
+        return distance
+
+
+class CachedDijkstraOracle(_IndexedOracle):
+    """Single-source ball searches plus monotone upper-bound caching.
+
+    Correctness rests on monotonicity: edges are only ever *added* to the
+    growing spanner ``H``, so ``δ_H`` is non-increasing over time and any
+    certified upper bound ``δ_H(u, v) ≤ d`` remains valid forever.  The
+    oracle therefore
+
+    * answers a query from the cache whenever a stored bound is at most the
+      cutoff (the true distance is then also at most the cutoff, so the
+      greedy decision matches the exact oracle's), and
+    * on a miss, settles the *entire* cutoff ball around the source — it
+      deliberately does not stop at the target — and harvests every settled
+      vertex ``x`` as a certified bound ``δ_H(u, x) ≤ d(x)``.  One pruned
+      search thereby batch-answers all candidate pairs ``(u, ·)`` within the
+      current radius.  The batching pays off *because* the greedy loop
+      examines edges in non-decreasing weight order: a pending pair
+      ``(u, x)`` has ``w(u, x) ≥ w``, so a harvested bound
+      ``d ≤ t·w ≤ t·w(u, x)`` is guaranteed to still be a cache hit when
+      that pair comes up.  (A bidirectional half-ball would only cover pairs
+      the loop has already decided — measured in ``docs/PERFORMANCE.md``.)
+
+    Spanner edges reported through :meth:`notify_edge_added` are cached too
+    (``δ_H(u, v) ≤ w``), which is what lets Lemma-3 re-runs and repeated
+    queries skip Dijkstra entirely.  ``cache_hits`` / ``cache_misses`` are
+    exposed through :meth:`extra_metadata` and land in ``Spanner`` metadata.
+
+    Cache keys are the two vertex ids packed into one int (``lo << 32 | hi``)
+    — cheaper to hash than a tuple in this hottest of paths.
+    """
+
+    def __init__(self, spanner: WeightedGraph) -> None:
+        super().__init__(spanner)
+        self._bounds: dict[int, float] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        # Edges already in the spanner are certified bounds from the start.
+        for uid, vid, weight in self._index.edges():
+            self._bounds[(uid << 32) | vid] = weight
+
+    def distance_within(self, u: Vertex, v: Vertex, cutoff: float) -> float:
+        self.query_count += 1
+        if u == v:
+            return 0.0
+        uid = self._vertex_id(u)
+        vid = self._vertex_id(v)
+        key = ((uid << 32) | vid) if uid <= vid else ((vid << 32) | uid)
+        cached = self._bounds.get(key)
+        if cached is not None and cached <= cutoff:
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        settled = indexed_ball(self._index, uid, cutoff)
+        self.settled_count += len(settled)
+        self._harvest(uid, settled)
+        distance = settled.get(vid)
+        return distance if distance is not None else math.inf
+
+    def _harvest(self, endpoint: int, settled: dict[int, float]) -> None:
+        """Record every settled distance as a certified upper bound from ``endpoint``."""
+        bounds = self._bounds
+        for vertex, dist in settled.items():
+            if vertex == endpoint:
+                continue
+            key = ((endpoint << 32) | vertex) if endpoint <= vertex else ((vertex << 32) | endpoint)
+            existing = bounds.get(key)
+            if existing is None or dist < existing:
+                bounds[key] = dist
+
+    def notify_edge_added(self, u: Vertex, v: Vertex, weight: float) -> None:
+        super().notify_edge_added(u, v, weight)
+        uid = self._index.id_of(u)
+        vid = self._index.id_of(v)
+        key = ((uid << 32) | vid) if uid <= vid else ((vid << 32) | uid)
+        existing = self._bounds.get(key)
+        if existing is None or weight < existing:
+            self._bounds[key] = weight
+
+    def extra_metadata(self) -> dict[str, float]:
+        return {
+            "cache_hits": float(self.cache_hits),
+            "cache_misses": float(self.cache_misses),
+            "cached_bounds": float(len(self._bounds)),
+        }
+
+    def reset_counters(self) -> None:
+        super().reset_counters()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+
 ORACLE_FACTORIES = {
     "bounded": BoundedDijkstraOracle,
     "full": FullDijkstraOracle,
+    "bidirectional": BidirectionalDijkstraOracle,
+    "cached": CachedDijkstraOracle,
 }
 
 
 def make_oracle(name: str, spanner: WeightedGraph) -> DistanceOracle:
     """Instantiate the oracle strategy called ``name`` over ``spanner``.
 
-    Valid names are ``"bounded"`` (default strategy of the greedy algorithm)
-    and ``"full"``.
+    Valid names are ``"cached"`` (default strategy of the greedy algorithm),
+    ``"bidirectional"``, ``"bounded"`` and ``"full"``; see the module
+    docstring and ``docs/PERFORMANCE.md`` for the trade-offs.
     """
     try:
         factory = ORACLE_FACTORIES[name]

@@ -45,7 +45,7 @@ def greedy_spanner(
     graph: WeightedGraph,
     t: float,
     *,
-    oracle: str = "bounded",
+    oracle: str = "cached",
     progress: Optional[ProgressCallback] = None,
 ) -> Spanner:
     """Run the greedy algorithm on ``graph`` with stretch parameter ``t``.
@@ -58,8 +58,11 @@ def greedy_spanner(
     t:
         The stretch parameter, ``t ≥ 1``.
     oracle:
-        Distance-query strategy: ``"bounded"`` (cutoff-pruned Dijkstra,
-        default) or ``"full"``.
+        Distance-query strategy: ``"cached"`` (indexed single-source ball
+        Dijkstra with monotone upper-bound caching, default), ``"bidirectional"``,
+        ``"bounded"`` (the textbook cutoff-pruned Dijkstra) or ``"full"``.
+        Every strategy produces the identical greedy spanner; they differ
+        only in speed (see ``docs/PERFORMANCE.md``).
     progress:
         Optional callback invoked as ``progress(examined, total)`` after each
         edge examination; used by long-running experiments.
@@ -68,8 +71,9 @@ def greedy_spanner(
     -------
     Spanner
         The greedy ``t``-spanner with construction metadata:
-        ``distance_queries``, ``dijkstra_settles``, ``edges_examined`` and
-        ``edges_added``.
+        ``distance_queries``, ``dijkstra_settles``, ``edges_examined``,
+        ``edges_added``, plus any strategy-specific counters (e.g. the
+        caching oracle's ``cache_hits`` / ``cache_misses``).
     """
     if t < 1.0:
         raise InvalidStretchError(f"stretch must be at least 1, got {t}")
@@ -90,17 +94,19 @@ def greedy_spanner(
         if progress is not None:
             progress(examined, total)
 
+    metadata = {
+        "distance_queries": float(distance_oracle.query_count),
+        "dijkstra_settles": float(distance_oracle.settled_count),
+        "edges_examined": float(total),
+        "edges_added": float(added),
+    }
+    metadata.update(distance_oracle.extra_metadata())
     return Spanner(
         base=graph,
         subgraph=spanner_graph,
         stretch=t,
         algorithm="greedy",
-        metadata={
-            "distance_queries": float(distance_oracle.query_count),
-            "dijkstra_settles": float(distance_oracle.settled_count),
-            "edges_examined": float(total),
-            "edges_added": float(added),
-        },
+        metadata=metadata,
     )
 
 
@@ -108,7 +114,7 @@ def greedy_spanner_of_metric(
     metric: FiniteMetric,
     t: float,
     *,
-    oracle: str = "bounded",
+    oracle: str = "cached",
     progress: Optional[ProgressCallback] = None,
 ) -> Spanner:
     """Run the greedy algorithm on the complete graph of a finite metric space.

@@ -12,8 +12,16 @@ from repro.experiments.experiments import (
     experiment_figure1,
     experiment_general_graphs,
     experiment_lemma3,
+    experiment_oracle_matrix,
     experiment_routing,
     run_all_experiments,
+)
+from repro.experiments.oracle_bench import (
+    euclidean_workload,
+    graph_workload,
+    merge_run_into_file,
+    run_oracle_matrix,
+    workload_key,
 )
 
 __all__ = [
@@ -34,6 +42,12 @@ __all__ = [
     "experiment_figure1",
     "experiment_general_graphs",
     "experiment_lemma3",
+    "experiment_oracle_matrix",
     "experiment_routing",
     "run_all_experiments",
+    "euclidean_workload",
+    "graph_workload",
+    "merge_run_into_file",
+    "run_oracle_matrix",
+    "workload_key",
 ]

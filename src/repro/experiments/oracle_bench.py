@@ -1,0 +1,180 @@
+"""Oracle benchmark matrix: the perf trajectory behind ``repro bench-oracles``.
+
+Runs the greedy spanner over one workload once per distance-oracle strategy
+(:mod:`repro.core.distance_oracle`), recording wall-clock time and the
+deterministic operation counts (``dijkstra_settles`` / ``distance_queries``),
+and cross-checks that every strategy produced the *identical* spanner edge
+set — the strategies are interchangeable by construction, so a mismatch is a
+bug, not a measurement.
+
+Results are merged into a ``BENCH_oracles.json`` file keyed by workload
+signature, so repeated runs at different sizes accumulate a perf trajectory
+that ``scripts/check_bench_regression.py`` can diff against the committed
+baseline in ``benchmarks/BENCH_oracles.json``.  The file format and how to
+read it are documented in ``docs/PERFORMANCE.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.greedy import greedy_spanner
+from repro.graph.generators import random_connected_graph
+from repro.graph.weighted_graph import WeightedGraph
+from repro.metric.generators import uniform_points
+
+SCHEMA_VERSION = 1
+
+DEFAULT_STRATEGIES = ("bounded", "bidirectional", "cached")
+
+#: Metadata counters copied verbatim into each strategy record when present.
+_COUNTER_KEYS = (
+    "distance_queries",
+    "dijkstra_settles",
+    "edges_added",
+    "cache_hits",
+    "cache_misses",
+    "cached_bounds",
+)
+
+#: The deterministic operation counts the regression checker compares.
+OPERATION_COUNT_KEYS = ("dijkstra_settles", "distance_queries")
+
+
+def workload_key(workload: dict[str, object]) -> str:
+    """Return the stable run key of a workload description, e.g.
+    ``"uniform-euclidean-n400-d2-seed7-t2.0"``.
+
+    Numeric fields are normalised (ints as ints, stretch/p as floats) so that
+    e.g. ``stretch=2`` and ``stretch=2.0`` map to the same key — the key is
+    what the regression checker joins baseline and fresh runs on.
+    """
+    if workload["kind"] == "uniform-euclidean":
+        return "uniform-euclidean-n{}-d{}-seed{}-t{}".format(
+            int(workload["n"]), int(workload["dim"]), int(workload["seed"]),
+            float(workload["stretch"]),
+        )
+    return "erdos-renyi-n{}-p{}-seed{}-t{}".format(
+        int(workload["n"]), float(workload["p"]), int(workload["seed"]),
+        float(workload["stretch"]),
+    )
+
+
+def _build_graph(workload: dict[str, object]) -> WeightedGraph:
+    if workload["kind"] == "uniform-euclidean":
+        metric = uniform_points(int(workload["n"]), int(workload["dim"]), seed=int(workload["seed"]))
+        return metric.complete_graph()
+    return random_connected_graph(int(workload["n"]), float(workload["p"]), seed=int(workload["seed"]))
+
+
+def euclidean_workload(n: int = 400, dim: int = 2, seed: int = 7, stretch: float = 2.0) -> dict[str, object]:
+    """The default bench workload: ``n`` uniform points in the unit ``dim``-cube."""
+    return {
+        "kind": "uniform-euclidean",
+        "n": int(n),
+        "dim": int(dim),
+        "seed": int(seed),
+        "stretch": float(stretch),
+    }
+
+
+def graph_workload(n: int = 200, p: float = 0.1, seed: int = 7, stretch: float = 2.0) -> dict[str, object]:
+    """An Erdős–Rényi bench workload (the Section 3 general-graph setting)."""
+    return {
+        "kind": "erdos-renyi",
+        "n": int(n),
+        "p": float(p),
+        "seed": int(seed),
+        "stretch": float(stretch),
+    }
+
+
+def run_oracle_matrix(
+    workload: dict[str, object],
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+) -> dict[str, object]:
+    """Run the greedy spanner once per strategy over ``workload``.
+
+    Returns one run record: per-strategy seconds and operation counts, the
+    wall-clock speedup and settle reduction relative to the ``"bounded"``
+    baseline strategy (when benched), and the edge-set cross-check verdict.
+    """
+    graph = _build_graph(workload)
+    stretch = float(workload["stretch"])
+
+    records: dict[str, dict[str, float]] = {}
+    reference: Optional[WeightedGraph] = None
+    identical = True
+    for name in strategies:
+        start = time.perf_counter()
+        spanner = greedy_spanner(graph, stretch, oracle=name)
+        seconds = time.perf_counter() - start
+        record: dict[str, float] = {"seconds": seconds}
+        for key in _COUNTER_KEYS:
+            if key in spanner.metadata:
+                record[key] = spanner.metadata[key]
+        record["spanner_edges"] = float(spanner.number_of_edges)
+        records[name] = record
+        if reference is None:
+            reference = spanner.subgraph
+        elif not spanner.subgraph.same_edges(reference):
+            identical = False
+
+    result: dict[str, object] = {
+        "workload": dict(workload),
+        "strategies": records,
+        "identical_edge_sets": identical,
+    }
+    if "bounded" in records:
+        base = records["bounded"]
+        result["speedup_vs_bounded"] = {
+            name: base["seconds"] / rec["seconds"]
+            for name, rec in records.items()
+            if name != "bounded" and rec["seconds"] > 0
+        }
+        result["settle_reduction_vs_bounded"] = {
+            name: base["dijkstra_settles"] / rec["dijkstra_settles"]
+            for name, rec in records.items()
+            if name != "bounded" and rec.get("dijkstra_settles", 0) > 0
+        }
+    return result
+
+
+def merge_run_into_file(path: str | Path, run: dict[str, object]) -> dict[str, object]:
+    """Merge ``run`` into the JSON trajectory at ``path`` (created if missing).
+
+    The file keeps one entry per workload key under ``"runs"``; re-running the
+    same workload overwrites its entry, so the file always holds the latest
+    measurement per workload.  Returns the full document.
+    """
+    path = Path(path)
+    if path.exists():
+        document = json.loads(path.read_text())
+    else:
+        document = {
+            "schema": SCHEMA_VERSION,
+            "description": (
+                "Greedy-spanner distance-oracle benchmark trajectory; "
+                "see docs/PERFORMANCE.md. Regenerate with `repro bench-oracles`."
+            ),
+            "runs": {},
+        }
+    document.setdefault("runs", {})[workload_key(run["workload"])] = run
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document
+
+
+def render_rows(run: dict[str, object]) -> list[dict[str, object]]:
+    """Flatten a run record into report-table rows (one per strategy)."""
+    rows = []
+    speedups = run.get("speedup_vs_bounded", {})
+    for name, record in run["strategies"].items():
+        row: dict[str, object] = {"oracle": name}
+        row.update(record)
+        if name in speedups:
+            row["speedup_vs_bounded"] = speedups[name]
+        rows.append(row)
+    return rows

@@ -7,10 +7,15 @@ helpers.
 """
 
 from repro.graph.weighted_graph import WeightedGraph
+from repro.graph.indexed_graph import IndexedGraph
 from repro.graph.shortest_paths import (
     all_pairs_distances,
     dijkstra,
     dijkstra_with_cutoff,
+    dijkstra_with_cutoff_stats,
+    indexed_ball,
+    indexed_bidirectional_cutoff,
+    indexed_dijkstra_with_cutoff,
     pair_distance,
     path_weight,
     shortest_path,
@@ -36,9 +41,14 @@ from repro.graph.girth import unweighted_girth, weighted_girth
 
 __all__ = [
     "WeightedGraph",
+    "IndexedGraph",
     "all_pairs_distances",
     "dijkstra",
     "dijkstra_with_cutoff",
+    "dijkstra_with_cutoff_stats",
+    "indexed_ball",
+    "indexed_bidirectional_cutoff",
+    "indexed_dijkstra_with_cutoff",
     "pair_distance",
     "path_weight",
     "shortest_path",

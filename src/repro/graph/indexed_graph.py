@@ -1,0 +1,247 @@
+"""A dense-integer-indexed graph: the fast-path substrate of the hot loops.
+
+:class:`~repro.graph.weighted_graph.WeightedGraph` stores adjacency as a
+dict-of-dicts keyed by arbitrary hashable vertices, which is the right
+interface for the algorithm code but pays a hash lookup per edge relaxation.
+The greedy spanner's inner distance query (Algorithm 1 of the paper) relaxes
+edges millions of times, so :class:`IndexedGraph` provides an equivalent
+representation optimised for exactly that access pattern:
+
+* vertices are *interned* to dense integer ids ``0..n-1`` in first-seen
+  order, so Dijkstra state (distances, settled marks) can live in flat lists
+  indexed by id instead of hash tables keyed by vertex objects;
+* adjacency is stored as parallel ``list[int]`` / ``list[float]`` arrays per
+  vertex, giving O(1) amortised edge append and cache-friendly relaxation
+  loops (``zip`` over two flat lists, no dict iteration);
+* the edge count is cached and maintained incrementally, and
+  :meth:`edges` yields each undirected edge exactly once in id order without
+  the per-edge ``seen``-set of the dict representation.
+
+The indexed search routines that run on this structure live in
+:mod:`repro.graph.shortest_paths` (``indexed_dijkstra_with_cutoff``,
+``indexed_bidirectional_cutoff``, ``indexed_ball``); the distance-oracle
+strategies ``"bidirectional"`` and ``"cached"`` of
+:mod:`repro.core.distance_oracle` and the cluster graphs of
+:mod:`repro.core.cluster_graph` are their consumers.  See
+``docs/PERFORMANCE.md`` for measurements.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import Optional
+
+from repro.errors import SelfLoopError
+from repro.graph.weighted_graph import Vertex, WeightedEdge, WeightedGraph, _validate_weight
+
+
+class IndexedGraph:
+    """An undirected positively weighted graph over dense integer vertex ids.
+
+    The public mutation API mirrors :class:`WeightedGraph` semantics (adding
+    an existing edge overwrites its weight; self-loops are rejected), but all
+    queries are id-based.  Use :meth:`intern` / :meth:`vertex_of` to translate
+    between external vertex objects and ids.
+
+    Examples
+    --------
+    >>> g = IndexedGraph()
+    >>> g.add_edge("a", "b", 2.0)
+    >>> g.add_edge("b", "c", 1.5)
+    >>> g.number_of_vertices, g.number_of_edges
+    (3, 2)
+    >>> g.intern("a"), g.intern("c")
+    (0, 2)
+    """
+
+    __slots__ = ("_id_of", "_vertex_of", "_neighbour_ids", "_neighbour_weights", "_edge_count")
+
+    def __init__(
+        self,
+        vertices: Optional[Iterable[Vertex]] = None,
+        edges: Optional[Iterable[WeightedEdge]] = None,
+    ) -> None:
+        self._id_of: dict[Vertex, int] = {}
+        self._vertex_of: list[Vertex] = []
+        self._neighbour_ids: list[list[int]] = []
+        self._neighbour_weights: list[list[float]] = []
+        self._edge_count = 0
+        if vertices is not None:
+            for vertex in vertices:
+                self.intern(vertex)
+        if edges is not None:
+            for u, v, weight in edges:
+                self.add_edge(u, v, weight)
+
+    # ------------------------------------------------------------------
+    # Interning
+    # ------------------------------------------------------------------
+    def intern(self, vertex: Vertex) -> int:
+        """Return the dense id of ``vertex``, assigning the next free id if new."""
+        vid = self._id_of.get(vertex)
+        if vid is None:
+            vid = len(self._vertex_of)
+            self._id_of[vertex] = vid
+            self._vertex_of.append(vertex)
+            self._neighbour_ids.append([])
+            self._neighbour_weights.append([])
+        return vid
+
+    def id_of(self, vertex: Vertex) -> int:
+        """Return the id of ``vertex``; raise :class:`KeyError` if unknown."""
+        return self._id_of[vertex]
+
+    def vertex_of(self, vid: int) -> Vertex:
+        """Return the vertex object interned at ``vid``."""
+        return self._vertex_of[vid]
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        """Return True if ``vertex`` has been interned."""
+        return vertex in self._id_of
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_edge(self, u: Vertex, v: Vertex, weight: float) -> None:
+        """Add (or overwrite) the undirected edge ``(u, v)``, interning endpoints."""
+        if u == v:
+            raise SelfLoopError(f"self-loop on vertex {u!r} is not allowed")
+        self.add_edge_ids(self.intern(u), self.intern(v), weight)
+
+    def add_edge_ids(self, uid: int, vid: int, weight: float) -> None:
+        """Add (or overwrite) the edge between the already-interned ids."""
+        if uid == vid:
+            raise SelfLoopError(f"self-loop on vertex {self._vertex_of[uid]!r} is not allowed")
+        value = _validate_weight(weight)
+        nbrs = self._neighbour_ids[uid]
+        try:
+            slot = nbrs.index(vid)
+        except ValueError:
+            self._append_half_edge(uid, vid, value)
+            self._append_half_edge(vid, uid, value)
+            self._edge_count += 1
+        else:
+            self._neighbour_weights[uid][slot] = value
+            back = self._neighbour_ids[vid].index(uid)
+            self._neighbour_weights[vid][back] = value
+
+    def append_edge_unchecked(self, u: Vertex, v: Vertex, weight: float) -> None:
+        """Append the edge ``(u, v)`` *assuming it is not already present*.
+
+        Skips the O(degree) duplicate scan of :meth:`add_edge`; the greedy
+        loop's notify hook uses this because the algorithm adds every edge at
+        most once.  Appending an edge that does already exist duplicates the
+        adjacency entry and corrupts the edge count — the caller must
+        guarantee absence.
+        """
+        if u == v:
+            raise SelfLoopError(f"self-loop on vertex {u!r} is not allowed")
+        value = _validate_weight(weight)
+        uid = self.intern(u)
+        vid = self.intern(v)
+        self._append_half_edge(uid, vid, value)
+        self._append_half_edge(vid, uid, value)
+        self._edge_count += 1
+
+    def _append_half_edge(self, uid: int, vid: int, weight: float) -> None:
+        self._neighbour_ids[uid].append(vid)
+        self._neighbour_weights[uid].append(weight)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def number_of_vertices(self) -> int:
+        """The number of interned vertices ``n``."""
+        return len(self._vertex_of)
+
+    @property
+    def number_of_edges(self) -> int:
+        """The number of edges ``m`` (cached; O(1))."""
+        return self._edge_count
+
+    def degree_id(self, vid: int) -> int:
+        """Return the degree of the vertex with id ``vid``."""
+        return len(self._neighbour_ids[vid])
+
+    def has_edge_ids(self, uid: int, vid: int) -> bool:
+        """Return True if the edge between the two ids exists."""
+        return vid in self._neighbour_ids[uid]
+
+    def weight_ids(self, uid: int, vid: int) -> float:
+        """Return the weight of the edge between the two ids.
+
+        Raises :class:`ValueError` if the edge is absent (linear scan of the
+        neighbour list — use :meth:`incident_ids` in hot loops).
+        """
+        slot = self._neighbour_ids[uid].index(vid)
+        return self._neighbour_weights[uid][slot]
+
+    def incident_ids(self, vid: int) -> Iterator[tuple[int, float]]:
+        """Iterate over ``(neighbour_id, weight)`` pairs of ``vid``."""
+        return zip(self._neighbour_ids[vid], self._neighbour_weights[vid])
+
+    def adjacency_arrays(self) -> tuple[list[list[int]], list[list[float]]]:
+        """Return the raw parallel adjacency arrays (shared, not copied).
+
+        This is the hot-loop entry point: search routines bind the two lists
+        to locals and index them by vertex id, bypassing attribute and method
+        lookups entirely.  Callers must not mutate the arrays.
+        """
+        return self._neighbour_ids, self._neighbour_weights
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        """Yield each undirected edge once as ``(uid, vid, weight)`` with ``uid < vid``.
+
+        Because every edge is stored as two directed half-edges, emitting only
+        the ``uid < vid`` orientation enumerates each edge exactly once in id
+        order — no ``seen``-set needed, unlike the dict representation.
+        """
+        for uid, (nbrs, weights) in enumerate(zip(self._neighbour_ids, self._neighbour_weights)):
+            for vid, weight in zip(nbrs, weights):
+                if uid < vid:
+                    yield (uid, vid, weight)
+
+    def vertex_edges(self) -> Iterator[WeightedEdge]:
+        """Yield each undirected edge once as ``(u, v, weight)`` vertex objects."""
+        vertex_of = self._vertex_of
+        for uid, vid, weight in self.edges():
+            yield (vertex_of[uid], vertex_of[vid], weight)
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_weighted_graph(cls, graph: WeightedGraph) -> "IndexedGraph":
+        """Build an indexed copy of ``graph``.
+
+        Ids are assigned in ``graph.vertices()`` iteration order, so two
+        conversions of graphs with the same vertex insertion history produce
+        identical interning — which keeps id-based tie-breaking deterministic.
+        """
+        indexed = cls(vertices=graph.vertices())
+        id_of = indexed._id_of
+        append = indexed._append_half_edge
+        count = 0
+        for u, v, weight in graph.edges():
+            uid, vid = id_of[u], id_of[v]
+            # `graph` has no parallel edges, so raw appends are safe and skip
+            # the duplicate scan of `add_edge_ids`.
+            append(uid, vid, weight)
+            append(vid, uid, weight)
+            count += 1
+        indexed._edge_count = count
+        return indexed
+
+    def to_weighted_graph(self) -> WeightedGraph:
+        """Materialise the graph back into a :class:`WeightedGraph`."""
+        graph = WeightedGraph(vertices=self._vertex_of)
+        for u, v, weight in self.vertex_edges():
+            graph.add_edge(u, v, weight)
+        return graph
+
+    def __len__(self) -> int:
+        return len(self._vertex_of)
+
+    def __repr__(self) -> str:
+        return f"IndexedGraph(n={self.number_of_vertices}, m={self.number_of_edges})"

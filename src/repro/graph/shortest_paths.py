@@ -9,10 +9,24 @@ compares it to ``t * w(u, v)``.  This module provides the distance machinery:
   algorithm: the search may stop as soon as the distance to the target is
   resolved or provably exceeds a cutoff, which is the standard optimisation
   used by greedy-spanner implementations (Bose et al. 2010),
+* :func:`dijkstra_with_cutoff_stats` — the same search, additionally
+  reporting how many vertices it settled (the oracle layer's operation count),
 * :func:`pair_distance` — distance between a single pair,
 * :func:`shortest_path` — an explicit shortest path as a vertex list,
 * :func:`all_pairs_distances` — dense all-pairs distances (used to induce the
   metric space ``M_G`` of Section 2 and by the stretch verifiers).
+
+The ``indexed_*`` variants run on the dense-integer
+:class:`~repro.graph.indexed_graph.IndexedGraph` representation and are the
+hot-path versions used by the ``"bidirectional"`` / ``"cached"`` distance
+oracles and the cluster graphs (see ``docs/PERFORMANCE.md``):
+
+* :func:`indexed_dijkstra_with_cutoff` — bounded single-pair search
+  (cluster-graph queries),
+* :func:`indexed_bidirectional_cutoff` — meet-in-the-middle bounded search:
+  two half-radius balls instead of one full-radius ball,
+* :func:`indexed_ball` — all vertices within a radius (cluster construction,
+  and the caching oracle's batch-harvest of certified upper bounds).
 
 All functions treat unreachable vertices as being at distance ``math.inf``.
 """
@@ -25,6 +39,7 @@ from collections.abc import Iterable
 from typing import Optional
 
 from repro.errors import VertexNotFoundError
+from repro.graph.indexed_graph import IndexedGraph
 from repro.graph.weighted_graph import Vertex, WeightedGraph
 
 Distances = dict[Vertex, float]
@@ -106,8 +121,27 @@ def dijkstra_with_cutoff(
         raise VertexNotFoundError(source)
     if not graph.has_vertex(target):
         raise VertexNotFoundError(target)
+    distance, _ = dijkstra_with_cutoff_stats(graph, source, target, cutoff)
+    return distance
+
+
+def dijkstra_with_cutoff_stats(
+    graph: WeightedGraph,
+    source: Vertex,
+    target: Vertex,
+    cutoff: float,
+) -> tuple[float, int]:
+    """Bounded single-pair Dijkstra returning ``(distance, settled_count)``.
+
+    The single shared implementation behind :func:`dijkstra_with_cutoff` and
+    :class:`~repro.core.distance_oracle.BoundedDijkstraOracle`, so pruning
+    tweaks land in one place.  ``distance`` is ``δ(source, target)`` if it is
+    at most ``cutoff`` and ``math.inf`` otherwise; ``settled_count`` is the
+    number of vertices the search settled (the operation count the
+    experiments report).  Endpoints are assumed present in the graph.
+    """
     if source == target:
-        return 0.0
+        return 0.0, 0
 
     settled: set[Vertex] = set()
     heap: list[tuple[float, int, Vertex]] = [(0.0, 0, source)]
@@ -116,12 +150,12 @@ def dijkstra_with_cutoff(
     while heap:
         dist, _, vertex = heapq.heappop(heap)
         if dist > cutoff:
-            return math.inf
+            return math.inf, len(settled)
         if vertex in settled:
             continue
         settled.add(vertex)
         if vertex == target:
-            return dist
+            return dist, len(settled)
         for neighbour, weight in graph.incident(vertex):
             if neighbour in settled:
                 continue
@@ -130,7 +164,147 @@ def dijkstra_with_cutoff(
                 counter += 1
                 heapq.heappush(heap, (new_dist, counter, neighbour))
 
-    return math.inf
+    return math.inf, len(settled)
+
+
+# ----------------------------------------------------------------------
+# Indexed (dense integer id) fast-path searches
+# ----------------------------------------------------------------------
+def indexed_dijkstra_with_cutoff(
+    graph: IndexedGraph,
+    source: int,
+    target: int,
+    cutoff: float,
+) -> tuple[float, dict[int, float]]:
+    """Bounded single-pair Dijkstra over an :class:`IndexedGraph`.
+
+    Returns ``(distance, settled)`` where ``distance`` is ``δ(source, target)``
+    if at most ``cutoff`` (else ``math.inf``) and ``settled`` maps every
+    settled vertex id to its exact distance from ``source``.  Callers that
+    only need the distance may discard the map; each entry is an exact
+    distance at search time and therefore a valid upper bound forever in a
+    graph whose distances only shrink (the property the caching oracle's
+    full-ball variant, :func:`indexed_ball`, exploits).
+    """
+    settled: dict[int, float] = {}
+    if source == target:
+        settled[source] = 0.0
+        return 0.0, settled
+    neighbour_ids, neighbour_weights = graph.adjacency_arrays()
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    push = heapq.heappush
+    pop = heapq.heappop
+    while heap:
+        dist, vertex = pop(heap)
+        if dist > cutoff:
+            return math.inf, settled
+        if vertex in settled:
+            continue
+        settled[vertex] = dist
+        if vertex == target:
+            return dist, settled
+        for neighbour, weight in zip(neighbour_ids[vertex], neighbour_weights[vertex]):
+            if neighbour in settled:
+                continue
+            new_dist = dist + weight
+            if new_dist <= cutoff:
+                push(heap, (new_dist, neighbour))
+    return math.inf, settled
+
+
+def indexed_bidirectional_cutoff(
+    graph: IndexedGraph,
+    source: int,
+    target: int,
+    cutoff: float,
+) -> tuple[float, dict[int, float], dict[int, float]]:
+    """Bounded *bidirectional* Dijkstra over an :class:`IndexedGraph`.
+
+    Meet-in-the-middle search: grow a ball around ``source`` and a ball around
+    ``target`` simultaneously, always expanding the shallower frontier, and
+    stop when the frontiers certify the best meeting point.  Each ball only
+    needs radius ``≈ δ/2``, and on dense graphs the ball volume grows
+    super-linearly with the radius, so two half-balls settle far fewer
+    vertices than one full ball (see ``docs/PERFORMANCE.md``).
+
+    Returns ``(distance, settled_forward, settled_backward)``: ``distance`` is
+    exactly ``δ(source, target)`` if at most ``cutoff``, else ``math.inf``;
+    the settled maps hold exact distances from ``source`` (resp. to
+    ``target``) for every settled vertex — their sizes are the search's
+    operation count.
+    """
+    if source == target:
+        return 0.0, {source: 0.0}, {target: 0.0}
+    neighbour_ids, neighbour_weights = graph.adjacency_arrays()
+    inf = math.inf
+    best = inf
+    dist_f: dict[int, float] = {source: 0.0}
+    dist_b: dict[int, float] = {target: 0.0}
+    settled_f: dict[int, float] = {}
+    settled_b: dict[int, float] = {}
+    heap_f: list[tuple[float, int]] = [(0.0, source)]
+    heap_b: list[tuple[float, int]] = [(0.0, target)]
+    push = heapq.heappush
+    pop = heapq.heappop
+
+    while heap_f and heap_b:
+        top_f = heap_f[0][0]
+        top_b = heap_b[0][0]
+        # Any s-t path not yet recorded in `best` has length at least
+        # top_f + top_b, so `best` is final once the frontiers cross it —
+        # and the pair is beyond the cutoff once the frontier sum is.
+        frontier_sum = top_f + top_b
+        if frontier_sum >= best or frontier_sum > cutoff:
+            break
+        if top_f <= top_b:
+            heap, settled, dist_this, dist_other = heap_f, settled_f, dist_f, dist_b
+        else:
+            heap, settled, dist_this, dist_other = heap_b, settled_b, dist_b, dist_f
+        dist, vertex = pop(heap)
+        if vertex in settled:
+            continue
+        settled[vertex] = dist
+        for neighbour, weight in zip(neighbour_ids[vertex], neighbour_weights[vertex]):
+            if neighbour in settled:
+                continue
+            new_dist = dist + weight
+            if new_dist > cutoff or new_dist >= dist_this.get(neighbour, inf):
+                continue
+            dist_this[neighbour] = new_dist
+            push(heap, (new_dist, neighbour))
+            other = dist_other.get(neighbour)
+            if other is not None and new_dist + other < best:
+                best = new_dist + other
+
+    if best <= cutoff:
+        return best, settled_f, settled_b
+    return math.inf, settled_f, settled_b
+
+
+def indexed_ball(graph: IndexedGraph, source: int, radius: float) -> dict[int, float]:
+    """Return ``{vertex_id: distance}`` for every vertex within ``radius`` of ``source``.
+
+    The indexed twin of the cluster-construction search: used by
+    :class:`~repro.core.cluster_graph.ClusterGraph` to absorb all vertices
+    within spanner distance ``radius`` of a new cluster centre.
+    """
+    settled: dict[int, float] = {}
+    neighbour_ids, neighbour_weights = graph.adjacency_arrays()
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    push = heapq.heappush
+    pop = heapq.heappop
+    while heap:
+        dist, vertex = pop(heap)
+        if vertex in settled:
+            continue
+        settled[vertex] = dist
+        for neighbour, weight in zip(neighbour_ids[vertex], neighbour_weights[vertex]):
+            if neighbour in settled:
+                continue
+            new_dist = dist + weight
+            if new_dist <= radius:
+                push(heap, (new_dist, neighbour))
+    return settled
 
 
 def pair_distance(graph: WeightedGraph, source: Vertex, target: Vertex) -> float:

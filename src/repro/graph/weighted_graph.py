@@ -67,7 +67,7 @@ class WeightedGraph:
     2.0
     """
 
-    __slots__ = ("_adjacency",)
+    __slots__ = ("_adjacency", "_edge_count")
 
     def __init__(
         self,
@@ -75,6 +75,7 @@ class WeightedGraph:
         edges: Optional[Iterable[WeightedEdge]] = None,
     ) -> None:
         self._adjacency: dict[Vertex, dict[Vertex, float]] = {}
+        self._edge_count = 0
         if vertices is not None:
             for vertex in vertices:
                 self.add_vertex(vertex)
@@ -106,6 +107,8 @@ class WeightedGraph:
         value = _validate_weight(weight)
         self.add_vertex(u)
         self.add_vertex(v)
+        if v not in self._adjacency[u]:
+            self._edge_count += 1
         self._adjacency[u][v] = value
         self._adjacency[v][u] = value
 
@@ -120,6 +123,7 @@ class WeightedGraph:
             raise EdgeNotFoundError(u, v)
         del self._adjacency[u][v]
         del self._adjacency[v][u]
+        self._edge_count -= 1
 
     def remove_vertex(self, vertex: Vertex) -> None:
         """Remove ``vertex`` and all incident edges."""
@@ -127,6 +131,7 @@ class WeightedGraph:
             raise VertexNotFoundError(vertex)
         for neighbour in list(self._adjacency[vertex]):
             del self._adjacency[neighbour][vertex]
+        self._edge_count -= len(self._adjacency[vertex])
         del self._adjacency[vertex]
 
     # ------------------------------------------------------------------
@@ -139,8 +144,12 @@ class WeightedGraph:
 
     @property
     def number_of_edges(self) -> int:
-        """The number of edges ``m``."""
-        return sum(len(nbrs) for nbrs in self._adjacency.values()) // 2
+        """The number of edges ``m`` (maintained incrementally; O(1)).
+
+        ``Spanner`` metadata and ``same_edges`` read this inside hot loops, so
+        it is a cached counter rather than a sum over the adjacency dicts.
+        """
+        return self._edge_count
 
     def has_vertex(self, vertex: Vertex) -> bool:
         """Return True if ``vertex`` is in the graph."""

@@ -7,7 +7,9 @@ import math
 import pytest
 
 from repro.core.distance_oracle import (
+    BidirectionalDijkstraOracle,
     BoundedDijkstraOracle,
+    CachedDijkstraOracle,
     FullDijkstraOracle,
     make_oracle,
 )
@@ -22,12 +24,20 @@ class TestFactory:
     def test_make_full(self, small_random_graph):
         assert isinstance(make_oracle("full", small_random_graph), FullDijkstraOracle)
 
+    def test_make_bidirectional(self, small_random_graph):
+        assert isinstance(
+            make_oracle("bidirectional", small_random_graph), BidirectionalDijkstraOracle
+        )
+
+    def test_make_cached(self, small_random_graph):
+        assert isinstance(make_oracle("cached", small_random_graph), CachedDijkstraOracle)
+
     def test_unknown_name(self, small_random_graph):
         with pytest.raises(ValueError):
             make_oracle("quantum", small_random_graph)
 
 
-@pytest.mark.parametrize("oracle_name", ["bounded", "full"])
+@pytest.mark.parametrize("oracle_name", ["bounded", "full", "bidirectional"])
 class TestCorrectness:
     def test_matches_exact_distance_within_cutoff(self, small_random_graph, oracle_name):
         oracle = make_oracle(oracle_name, small_random_graph)
