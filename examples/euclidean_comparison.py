@@ -26,6 +26,7 @@ import sys
 
 from repro import approximate_greedy_spanner, greedy_spanner_of_metric
 from repro.experiments.reporting import render_table
+from repro.metric.closure import MetricClosure
 from repro.metric.generators import clustered_points, uniform_points
 from repro.spanners.bounded_degree import bounded_degree_spanner
 from repro.spanners.theta_graph import cones_for_stretch, theta_graph_spanner
@@ -41,7 +42,7 @@ def compare(metric, stretch: float, workload_name: str) -> None:
         "theta-graph": theta_graph_spanner(metric, cones_for_stretch(stretch)),
         "wspd": wspd_spanner(metric, stretch),
         "net-tree": bounded_degree_spanner(metric, epsilon),
-        "mst (not a spanner)": mst_spanner(metric.complete_graph()),
+        "mst (not a spanner)": mst_spanner(MetricClosure(metric)),
     }
     greedy_stats = constructions["greedy"].statistics()
     rows = []

@@ -36,15 +36,17 @@ from repro.core import (
     metric_optimality_certificate,
 )
 from repro.graph import WeightedGraph
-from repro.metric import EuclideanMetric, GraphMetric
+from repro.metric import EuclideanMetric, GraphMetric, MetricClosure, sorted_pair_stream
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Spanner",
     "WeightedGraph",
     "EuclideanMetric",
     "GraphMetric",
+    "MetricClosure",
+    "sorted_pair_stream",
     "greedy_spanner",
     "greedy_spanner_of_metric",
     "approximate_greedy_spanner",

@@ -11,8 +11,10 @@ Entry points (also usable as ``python -m repro.cli <command>``):
 * ``spanner`` — build a greedy spanner of a registered workload and print its
   statistics.
 * ``bench-oracles`` — run the distance-oracle strategy matrix on a random
-  Euclidean metric, print the comparison table and merge the measurements
-  into a ``BENCH_oracles.json`` perf trajectory (see docs/PERFORMANCE.md).
+  Euclidean metric (streamed through the lazy metric pipeline, so n in the
+  thousands works without Θ(n²) memory), print the comparison table with
+  per-strategy tracemalloc peak memory and merge the measurements into a
+  ``BENCH_oracles.json`` perf trajectory (see docs/PERFORMANCE.md).
 
 The CLI exists so the repository can be exercised without writing Python —
 e.g. ``python -m repro.cli experiment E3``.
@@ -134,11 +136,14 @@ def _command_bench_oracles(args: argparse.Namespace) -> int:
         )
     else:
         workload = graph_workload(n=args.n, p=args.p, seed=args.seed, stretch=args.stretch)
-    run = run_oracle_matrix(workload, strategies=strategies)
+    run = run_oracle_matrix(workload, strategies=strategies, measure_memory=not args.no_memory)
     merge_run_into_file(args.output, run)
     print(render_table(render_rows(run), title=f"oracle matrix: {workload_key(workload)}"))
     for name, speedup in sorted(run.get("speedup_vs_bounded", {}).items()):
         print(f"speedup vs bounded [{name}]: {speedup:.2f}x")
+    for name, record in run["strategies"].items():
+        if "peak_memory_bytes" in record:
+            print(f"peak memory [{name}]: {record['peak_memory_bytes'] / 1_048_576:.1f} MiB")
     print(f"identical edge sets: {run['identical_edge_sets']}")
     print(f"trajectory written to {args.output}")
     return 0 if run["identical_edge_sets"] else 1
@@ -208,6 +213,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument(
         "--output", default="BENCH_oracles.json", help="JSON trajectory file to merge into"
+    )
+    bench_parser.add_argument(
+        "--no-memory",
+        action="store_true",
+        help="skip tracemalloc peak-memory tracking (tracing ~doubles wall clock)",
     )
     bench_parser.set_defaults(handler=_command_bench_oracles)
 

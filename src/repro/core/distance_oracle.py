@@ -42,6 +42,8 @@ import abc
 import heapq
 import math
 
+import numpy as np
+
 from repro.errors import VertexNotFoundError
 from repro.graph.indexed_graph import IndexedGraph
 from repro.graph.shortest_paths import (
@@ -226,18 +228,51 @@ class CachedDijkstraOracle(_IndexedOracle):
     queries skip Dijkstra entirely.  ``cache_hits`` / ``cache_misses`` are
     exposed through :meth:`extra_metadata` and land in ``Spanner`` metadata.
 
+    **Monotone-cutoff mode.**  With :attr:`monotone_cutoffs` set (the greedy
+    loop turns it on), the oracle exploits the loop's non-decreasing cutoff
+    sequence: any vertex ``x`` ever settled by a ball from ``u`` had
+    ``δ_H(u, x) ≤ radius ≤`` every *future* cutoff, so membership alone —
+    one bit — certifies all later queries of the pair, and the exact
+    distance value need not be stored.  Harvests then go into per-source
+    bitsets (``n²/8`` bytes worst case, ~100 bytes per pair less than the
+    value dictionary), and the value dictionary shrinks to ``O(|spanner|)``:
+    construction-time seeds from pre-existing spanner edges (none in a
+    greedy run, which starts edgeless), each evicted by the single query
+    that consumes it, plus one entry per :meth:`notify_edge_added` edge.
+    The loop queries a pair *before* adding its edge, so the notify entries
+    are never consumed in-run — they are kept for the ``cached_bounds``
+    metadata and for parity with the seeding a re-run would see.  Verdicts
+    and operation counts are identical to the value-cache mode — a pair is
+    a hit in one exactly when it is a hit in the other — but peak memory on
+    the streamed metric workloads drops from Θ(n²) dictionary entries to
+    the ``O(n + |spanner|)`` working set (measured in
+    ``docs/PERFORMANCE.md``).  The default is off, preserving exact-value
+    repeat-query caching for ad-hoc oracle use with arbitrary cutoffs.
+
     Cache keys are the two vertex ids packed into one int (``lo << 32 | hi``)
     — cheaper to hash than a tuple in this hottest of paths.
     """
 
+    #: When True, callers promise non-decreasing cutoffs per run (see above).
+    monotone_cutoffs: bool
+
     def __init__(self, spanner: WeightedGraph) -> None:
         super().__init__(spanner)
         self._bounds: dict[int, float] = {}
+        self._ball_bits: dict[int, "np.ndarray"] = {}
         self.cache_hits = 0
         self.cache_misses = 0
+        self.peak_cached_bounds = 0
+        self.monotone_cutoffs = False
         # Edges already in the spanner are certified bounds from the start.
         for uid, vid, weight in self._index.edges():
             self._bounds[(uid << 32) | vid] = weight
+
+    def _ball_bit(self, source: int, target: int) -> bool:
+        bits = self._ball_bits.get(source)
+        if bits is None:
+            return False
+        return bool((bits[target >> 3] >> (target & 7)) & 1)
 
     def distance_within(self, u: Vertex, v: Vertex, cutoff: float) -> float:
         self.query_count += 1
@@ -246,7 +281,17 @@ class CachedDijkstraOracle(_IndexedOracle):
         uid = self._vertex_id(u)
         vid = self._vertex_id(v)
         key = ((uid << 32) | vid) if uid <= vid else ((vid << 32) | uid)
-        cached = self._bounds.get(key)
+        if self.monotone_cutoffs:
+            # Membership in any past ball certifies δ_H ≤ that ball's radius,
+            # which is ≤ the current cutoff by monotonicity; the greedy loop
+            # only compares the answer against the cutoff, so the cutoff
+            # itself is a sufficient certified bound to return.
+            if self._ball_bit(uid, vid) or self._ball_bit(vid, uid):
+                self.cache_hits += 1
+                return cutoff
+            cached = self._bounds.pop(key, None)
+        else:
+            cached = self._bounds.get(key)
         if cached is not None and cached <= cutoff:
             self.cache_hits += 1
             return cached
@@ -258,7 +303,21 @@ class CachedDijkstraOracle(_IndexedOracle):
         return distance if distance is not None else math.inf
 
     def _harvest(self, endpoint: int, settled: dict[int, float]) -> None:
-        """Record every settled distance as a certified upper bound from ``endpoint``."""
+        """Record every settled vertex as a certified upper bound from ``endpoint``.
+
+        In monotone-cutoff mode the bounds are membership bits in the
+        source's bitset; otherwise exact distance values in the dictionary.
+        """
+        if self.monotone_cutoffs:
+            bits = self._ball_bits.get(endpoint)
+            if bits is None:
+                size = (self._index.number_of_vertices + 7) >> 3
+                bits = np.zeros(size, dtype=np.uint8)
+                self._ball_bits[endpoint] = bits
+            ids = np.fromiter(settled.keys(), dtype=np.int64, count=len(settled))
+            np.bitwise_or.at(bits, ids >> 3, np.left_shift(1, ids & 7).astype(np.uint8))
+            self.peak_cached_bounds = max(self.peak_cached_bounds, len(self._bounds))
+            return
         bounds = self._bounds
         for vertex, dist in settled.items():
             if vertex == endpoint:
@@ -267,6 +326,7 @@ class CachedDijkstraOracle(_IndexedOracle):
             existing = bounds.get(key)
             if existing is None or dist < existing:
                 bounds[key] = dist
+        self.peak_cached_bounds = max(self.peak_cached_bounds, len(bounds))
 
     def notify_edge_added(self, u: Vertex, v: Vertex, weight: float) -> None:
         super().notify_edge_added(u, v, weight)
@@ -282,6 +342,7 @@ class CachedDijkstraOracle(_IndexedOracle):
             "cache_hits": float(self.cache_hits),
             "cache_misses": float(self.cache_misses),
             "cached_bounds": float(len(self._bounds)),
+            "peak_cached_bounds": float(max(self.peak_cached_bounds, len(self._bounds))),
         }
 
     def reset_counters(self) -> None:

@@ -30,13 +30,15 @@ paper (Section 2.2).
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.errors import InvalidStretchError
 from repro.core.distance_oracle import DistanceOracle, make_oracle
 from repro.core.spanner import Spanner
-from repro.graph.weighted_graph import Vertex, WeightedGraph
+from repro.graph.weighted_graph import Vertex, WeightedEdge, WeightedGraph
 from repro.metric.base import FiniteMetric
+from repro.metric.closure import MetricClosure
+from repro.metric.stream import sorted_pair_stream
 
 ProgressCallback = Callable[[int, int], None]
 
@@ -47,6 +49,7 @@ def greedy_spanner(
     *,
     oracle: str = "cached",
     progress: Optional[ProgressCallback] = None,
+    edges: Optional[Iterable[WeightedEdge]] = None,
 ) -> Spanner:
     """Run the greedy algorithm on ``graph`` with stretch parameter ``t``.
 
@@ -54,7 +57,10 @@ def greedy_spanner(
     ----------
     graph:
         The weighted graph ``G``.  It need not be connected; the greedy
-        spanner of a disconnected graph spans each component.
+        spanner of a disconnected graph spans each component.  Lazy views
+        such as :class:`~repro.metric.closure.MetricClosure` work too: the
+        loop only needs the vertex set and a sorted edge source, so the
+        complete graph of a metric is never materialized.
     t:
         The stretch parameter, ``t ≥ 1``.
     oracle:
@@ -66,6 +72,13 @@ def greedy_spanner(
     progress:
         Optional callback invoked as ``progress(examined, total)`` after each
         edge examination; used by long-running experiments.
+    edges:
+        Optional edge source overriding ``graph.edges_sorted_by_weight()``.
+        Any iterable of ``(u, v, weight)`` triples already in the canonical
+        non-decreasing ``(weight, repr(u), repr(v))`` order is accepted — a
+        materialized list or a generator such as
+        :func:`~repro.metric.stream.sorted_pair_stream`; the loop consumes
+        it lazily and never holds it whole.
 
     Returns
     -------
@@ -80,12 +93,23 @@ def greedy_spanner(
 
     spanner_graph = graph.empty_spanning_subgraph()
     distance_oracle = make_oracle(oracle, spanner_graph)
+    if hasattr(distance_oracle, "monotone_cutoffs"):
+        # The loop below examines each pair once with non-decreasing cutoffs,
+        # so the caching oracle can certify hits by ball membership alone —
+        # identical verdicts and operation counts, sub-quadratic cache.
+        distance_oracle.monotone_cutoffs = True
 
-    ordered_edges = graph.edges_sorted_by_weight()
-    total = len(ordered_edges)
+    if edges is None:
+        edges = graph.edges_sorted_by_weight()
+    try:
+        total = len(edges)  # type: ignore[arg-type]
+    except TypeError:
+        total = graph.number_of_edges
     added = 0
+    examined = 0
 
-    for examined, (u, v, weight) in enumerate(ordered_edges, start=1):
+    for u, v, weight in edges:
+        examined += 1
         cutoff = t * weight
         if distance_oracle.distance_within(u, v, cutoff) > cutoff:
             spanner_graph.add_edge(u, v, weight)
@@ -97,7 +121,7 @@ def greedy_spanner(
     metadata = {
         "distance_queries": float(distance_oracle.query_count),
         "dijkstra_settles": float(distance_oracle.settled_count),
-        "edges_examined": float(total),
+        "edges_examined": float(examined),
         "edges_added": float(added),
     }
     metadata.update(distance_oracle.extra_metadata())
@@ -123,9 +147,21 @@ def greedy_spanner_of_metric(
     is viewed as the complete weighted graph over its points, and the greedy
     algorithm examines all ``n·(n-1)/2`` interpoint distances in
     non-decreasing order.
+
+    The complete graph is never materialized: the examination order comes
+    from the streaming pipeline (:func:`sorted_pair_stream`, identical
+    order and floats to the materialized sort) and the returned spanner's
+    ``base`` is a lazy :class:`MetricClosure` view, so peak memory is
+    ``O(n + |spanner|)`` instead of ``Θ(n²)``.
     """
-    complete = metric.complete_graph()
-    spanner = greedy_spanner(complete, t, oracle=oracle, progress=progress)
+    closure = MetricClosure(metric)
+    spanner = greedy_spanner(
+        closure,
+        t,
+        oracle=oracle,
+        progress=progress,
+        edges=sorted_pair_stream(metric),
+    )
     spanner.algorithm = "greedy-metric"
     return spanner
 

@@ -39,6 +39,7 @@ from repro.graph.mst import kruskal_mst, mst_weight
 from repro.graph.shortest_paths import pair_distance, shortest_path
 from repro.graph.weighted_graph import WeightedGraph
 from repro.metric.base import FiniteMetric
+from repro.metric.closure import MetricClosure
 from repro.metric.graph_metric import GraphMetric
 
 
@@ -120,7 +121,7 @@ def verify_observation6(graph: WeightedGraph, *, tolerance: float = 1e-9) -> boo
     the MST weights coincide, which is what the experiments rely on.
     """
     metric = GraphMetric(graph)
-    metric_graph = metric.complete_graph()
+    metric_graph = MetricClosure(metric)
     return abs(mst_weight(graph) - mst_weight(metric_graph)) <= tolerance * max(
         1.0, mst_weight(graph)
     )

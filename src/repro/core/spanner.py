@@ -96,6 +96,9 @@ class Spanner:
     stretch: float
     algorithm: str = "unknown"
     metadata: dict[str, float] = field(default_factory=dict)
+    _mst_weight_cache: Optional[float] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # Size / weight / degree
@@ -115,9 +118,21 @@ class Spanner:
         """The maximum degree ``Δ(H)``."""
         return self.subgraph.max_degree()
 
+    def base_mst_weight(self) -> float:
+        """Return ``w(MST(base))``, computed once and cached on the spanner.
+
+        Spanner constructions never mutate their base graph, so the MST
+        weight is a constant of the instance; lightness is queried repeatedly
+        by the experiments and for metric bases each recomputation is an
+        ``O(n²)`` dense-Prim pass.
+        """
+        if self._mst_weight_cache is None:
+            self._mst_weight_cache = mst_weight(self.base)
+        return self._mst_weight_cache
+
     def lightness(self) -> float:
         """Return ``Ψ(H) = w(H) / w(MST(base))``."""
-        base_mst = mst_weight(self.base)
+        base_mst = self.base_mst_weight()
         if base_mst == 0.0:
             return math.inf if self.weight > 0 else 1.0
         return self.weight / base_mst
@@ -189,7 +204,7 @@ class Spanner:
     # ------------------------------------------------------------------
     def statistics(self, *, measure_stretch: bool = False) -> SpannerStatistics:
         """Return a :class:`SpannerStatistics` snapshot of this spanner."""
-        base_mst = mst_weight(self.base)
+        base_mst = self.base_mst_weight()
         weight = self.weight
         lightness = weight / base_mst if base_mst > 0 else math.inf
         measured = self.max_stretch_over_edges() if measure_stretch else None

@@ -46,6 +46,10 @@ class SelfLoopError(GraphError, ValueError):
     """An operation was given a self-loop, which this library does not support."""
 
 
+class ImmutableGraphError(GraphError, TypeError):
+    """A mutation was attempted on a read-only graph view (e.g. a metric closure)."""
+
+
 class MetricError(ReproError):
     """Base class for errors in the metric-space substrate."""
 

@@ -11,9 +11,10 @@ EXPERIMENTS.md.
 from __future__ import annotations
 
 import time
+import tracemalloc
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Callable, Iterator, Optional
 
 from repro.experiments.reporting import render_table
 
@@ -36,6 +37,9 @@ class ExperimentResult:
         Observations recorded during the run (e.g. which side "won").
     elapsed_seconds:
         Total wall-clock time of the run.
+    peak_memory_bytes:
+        Python-heap high-water mark of the run as measured by
+        ``tracemalloc`` (None when the run was not memory-tracked).
     """
 
     experiment_id: str
@@ -44,6 +48,7 @@ class ExperimentResult:
     rows: list[dict[str, object]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    peak_memory_bytes: Optional[int] = None
 
     def add_row(self, **values: object) -> None:
         """Append one table row."""
@@ -64,18 +69,104 @@ class ExperimentResult:
         if self.notes:
             parts.append("")
             parts.extend(f"note: {note}" for note in self.notes)
-        parts.append(f"(elapsed: {self.elapsed_seconds:.2f}s)")
+        if self.peak_memory_bytes is not None:
+            parts.append(
+                f"(elapsed: {self.elapsed_seconds:.2f}s, "
+                f"peak memory: {self.peak_memory_bytes / 1_048_576:.1f} MiB)"
+            )
+        else:
+            parts.append(f"(elapsed: {self.elapsed_seconds:.2f}s)")
         return "\n".join(parts)
 
 
+#: Accumulator cells of the currently open contexts, innermost last.
+#: ``tracemalloc`` keeps one global peak counter, so nested contexts must
+#: fold the running segment's peak into every enclosing context before
+#: resetting it (see :func:`traced_peak_memory`).  Cells (not plain ints)
+#: so a context can recognise its own stack slot by identity.
+_peak_stack: list[list[int]] = []
+
+
 @contextmanager
-def timed(result: ExperimentResult) -> Iterator[ExperimentResult]:
-    """Context manager that records the elapsed wall-clock time on ``result``."""
-    start = time.perf_counter()
+def traced_peak_memory() -> Iterator[Callable[[], int]]:
+    """Context manager measuring the Python-heap high-water mark of its body.
+
+    Yields a zero-argument callable returning the peak (in bytes) observed
+    since entry; usable both during and after the ``with`` block.  Nests
+    correctly: ``tracemalloc`` has a single global peak counter, so on entry
+    the running segment's peak is folded into every enclosing context before
+    the counter is reset, and on exit the inner peak is folded back into the
+    enclosing contexts (an inner high-water mark is by definition inside
+    their windows).  Tracing is only stopped on exit if this context started
+    it.  (Tracing costs several-fold wall clock on allocation-heavy code —
+    measured 4–9× on the oracle benches — so traced timings are comparable
+    with each other but not with untraced runs.)
+    """
+    started_here = not tracemalloc.is_tracing()
+    if started_here:
+        tracemalloc.start()
+    else:
+        segment = tracemalloc.get_traced_memory()[1]
+        for cell in _peak_stack:
+            if segment > cell[0]:
+                cell[0] = segment
+    tracemalloc.reset_peak()
+    own_cell = [0]
+    _peak_stack.append(own_cell)
+    closed = [False]
+
+    def read_peak() -> int:
+        if not closed[0]:
+            # Still open: folds recorded so far plus the live segment.
+            live = (
+                tracemalloc.get_traced_memory()[1] if tracemalloc.is_tracing() else 0
+            )
+            return max(own_cell[0], live)
+        return own_cell[0]
+
     try:
-        yield result
+        yield read_peak
     finally:
-        result.elapsed_seconds = time.perf_counter() - start
+        live = tracemalloc.get_traced_memory()[1]
+        for i in range(len(_peak_stack) - 1, -1, -1):
+            if _peak_stack[i] is own_cell:  # identity: sibling cells compare equal
+                del _peak_stack[i]
+                break
+        own_cell[0] = max(own_cell[0], live)
+        closed[0] = True
+        for cell in _peak_stack:
+            if own_cell[0] > cell[0]:
+                cell[0] = own_cell[0]
+        if started_here:
+            tracemalloc.stop()
+
+
+@contextmanager
+def timed(
+    result: ExperimentResult, *, measure_memory: bool = False
+) -> Iterator[ExperimentResult]:
+    """Context manager recording elapsed wall-clock time (and peak memory) on ``result``.
+
+    With ``measure_memory`` the body runs under :func:`traced_peak_memory`
+    and the high-water mark lands in ``result.peak_memory_bytes`` — the
+    column the streaming-pipeline benches use to demonstrate their
+    sub-quadratic memory claim.  It is opt-in because tracemalloc tracing
+    costs several-fold wall clock on allocation-heavy runs, which would
+    distort the timing columns of every experiment.
+    """
+    start = time.perf_counter()
+    if measure_memory:
+        try:
+            with traced_peak_memory() as read_peak:
+                yield result
+        finally:
+            result.peak_memory_bytes = read_peak()
+            result.elapsed_seconds = time.perf_counter() - start
+    else:
+        try:
+            yield result
+        finally:
+            result.elapsed_seconds = time.perf_counter() - start
 
 
 @dataclass

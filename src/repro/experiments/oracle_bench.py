@@ -1,11 +1,14 @@
 """Oracle benchmark matrix: the perf trajectory behind ``repro bench-oracles``.
 
 Runs the greedy spanner over one workload once per distance-oracle strategy
-(:mod:`repro.core.distance_oracle`), recording wall-clock time and the
-deterministic operation counts (``dijkstra_settles`` / ``distance_queries``),
-and cross-checks that every strategy produced the *identical* spanner edge
+(:mod:`repro.core.distance_oracle`), recording wall-clock time, the
+deterministic operation counts (``dijkstra_settles`` / ``distance_queries``)
+and the tracemalloc peak-memory high-water mark of each construction, and
+cross-checks that every strategy produced the *identical* spanner edge
 set — the strategies are interchangeable by construction, so a mismatch is a
-bug, not a measurement.
+bug, not a measurement.  Euclidean workloads are built as lazy
+:class:`~repro.metric.closure.MetricClosure` views, so the bench scales to
+``n`` in the thousands without materializing the Θ(n²) complete graph.
 
 Results are merged into a ``BENCH_oracles.json`` file keyed by workload
 signature, so repeated runs at different sizes accumulate a perf trajectory
@@ -22,8 +25,10 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.core.greedy import greedy_spanner
+from repro.experiments.harness import traced_peak_memory
 from repro.graph.generators import random_connected_graph
 from repro.graph.weighted_graph import WeightedGraph
+from repro.metric.closure import MetricClosure
 from repro.metric.generators import uniform_points
 
 SCHEMA_VERSION = 1
@@ -38,6 +43,7 @@ _COUNTER_KEYS = (
     "cache_hits",
     "cache_misses",
     "cached_bounds",
+    "peak_cached_bounds",
 )
 
 #: The deterministic operation counts the regression checker compares.
@@ -66,7 +72,9 @@ def workload_key(workload: dict[str, object]) -> str:
 def _build_graph(workload: dict[str, object]) -> WeightedGraph:
     if workload["kind"] == "uniform-euclidean":
         metric = uniform_points(int(workload["n"]), int(workload["dim"]), seed=int(workload["seed"]))
-        return metric.complete_graph()
+        # Lazy complete-graph view: the greedy runs stream the sorted pairs,
+        # so the bench scales to n in the thousands without Θ(n²) memory.
+        return MetricClosure(metric)
     return random_connected_graph(int(workload["n"]), float(workload["p"]), seed=int(workload["seed"]))
 
 
@@ -95,12 +103,17 @@ def graph_workload(n: int = 200, p: float = 0.1, seed: int = 7, stretch: float =
 def run_oracle_matrix(
     workload: dict[str, object],
     strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    *,
+    measure_memory: bool = True,
 ) -> dict[str, object]:
     """Run the greedy spanner once per strategy over ``workload``.
 
-    Returns one run record: per-strategy seconds and operation counts, the
-    wall-clock speedup and settle reduction relative to the ``"bounded"``
-    baseline strategy (when benched), and the edge-set cross-check verdict.
+    Returns one run record: per-strategy seconds, operation counts and (with
+    ``measure_memory``, the default) the tracemalloc peak-memory high-water
+    mark of the construction, the wall-clock speedup and settle reduction
+    relative to the ``"bounded"`` baseline strategy (when benched), and the
+    edge-set cross-check verdict.  Memory tracing roughly doubles the
+    wall-clock numbers; they remain comparable within one run.
     """
     graph = _build_graph(workload)
     stretch = float(workload["stretch"])
@@ -110,13 +123,21 @@ def run_oracle_matrix(
     identical = True
     for name in strategies:
         start = time.perf_counter()
-        spanner = greedy_spanner(graph, stretch, oracle=name)
+        if measure_memory:
+            with traced_peak_memory() as read_peak:
+                spanner = greedy_spanner(graph, stretch, oracle=name)
+            peak: Optional[int] = read_peak()
+        else:
+            spanner = greedy_spanner(graph, stretch, oracle=name)
+            peak = None
         seconds = time.perf_counter() - start
         record: dict[str, float] = {"seconds": seconds}
         for key in _COUNTER_KEYS:
             if key in spanner.metadata:
                 record[key] = spanner.metadata[key]
         record["spanner_edges"] = float(spanner.number_of_edges)
+        if peak is not None:
+            record["peak_memory_bytes"] = float(peak)
         records[name] = record
         if reference is None:
             reference = spanner.subgraph
@@ -127,6 +148,10 @@ def run_oracle_matrix(
         "workload": dict(workload),
         "strategies": records,
         "identical_edge_sets": identical,
+        # Tracing costs several-fold wall clock, so rows measured with and
+        # without it are not time-comparable; the flag keeps the trajectory
+        # honest when runs with different settings are merged.
+        "memory_traced": bool(measure_memory),
     }
     if "bounded" in records:
         base = records["bounded"]

@@ -146,12 +146,21 @@ def prim_mst(graph: WeightedGraph, root: Optional[Vertex] = None) -> WeightedGra
 def mst_weight(graph: WeightedGraph) -> float:
     """Return ``w(MST(G))`` for a connected graph.
 
+    Lazy complete-graph views (``MetricClosure``) expose a
+    ``dense_metric_mst_weight`` fast path — dense Prim, ``O(n)`` memory
+    instead of sorting all ``n(n-1)/2`` pairs — which is dispatched to here
+    (duck-typed so the graph substrate stays import-independent of the
+    metric substrate).
+
     Raises
     ------
     DisconnectedGraphError
         If the graph is not connected, because the lightness of a spanner is
         only defined with respect to a spanning tree.
     """
+    dense = getattr(graph, "dense_metric_mst_weight", None)
+    if dense is not None:
+        return dense()
     forest = kruskal_mst(graph)
     if forest.number_of_edges != graph.number_of_vertices - 1:
         raise DisconnectedGraphError(

@@ -1,8 +1,10 @@
 """Finite metric-space substrate: metrics, doubling dimension, nets and workloads."""
 
 from repro.metric.base import ExplicitMetric, FiniteMetric, ScaledMetric
+from repro.metric.closure import MetricClosure
 from repro.metric.euclidean import EuclideanMetric
 from repro.metric.graph_metric import GraphMetric, induced_metric
+from repro.metric.stream import iter_pairs, sorted_pair_stream
 from repro.metric.doubling import (
     doubling_constant_upper_bound,
     doubling_dimension_upper_bound,
@@ -29,7 +31,10 @@ __all__ = [
     "ScaledMetric",
     "EuclideanMetric",
     "GraphMetric",
+    "MetricClosure",
     "induced_metric",
+    "iter_pairs",
+    "sorted_pair_stream",
     "doubling_constant_upper_bound",
     "doubling_dimension_upper_bound",
     "packing_number",

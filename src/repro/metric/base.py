@@ -37,17 +37,32 @@ class FiniteMetric(abc.ABC):
     def distance(self, p: Point, q: Point) -> float:
         """Return the distance ``δ(p, q)``."""
 
+    @property
+    def point_tuple(self) -> tuple[Point, ...]:
+        """The points as a tuple, computed once and cached on the instance.
+
+        Metric spaces are immutable, so the point collection never changes;
+        the derived quantities (``size``, ``pairs``, ``diameter``, ...) and the
+        streaming pipeline query the point set inside hot loops, where
+        re-calling the abstract :meth:`points` per access is measurable.
+        """
+        cached = getattr(self, "_point_tuple_cache", None)
+        if cached is None:
+            cached = tuple(self.points())
+            self._point_tuple_cache = cached
+        return cached
+
     # ------------------------------------------------------------------
     # Derived quantities
     # ------------------------------------------------------------------
     @property
     def size(self) -> int:
         """The number of points ``n``."""
-        return len(self.points())
+        return len(self.point_tuple)
 
     def pairs(self) -> Iterable[tuple[Point, Point]]:
         """Iterate over all unordered pairs of distinct points."""
-        return itertools.combinations(self.points(), 2)
+        return itertools.combinations(self.point_tuple, 2)
 
     def diameter(self) -> float:
         """Return the maximum pairwise distance (0 for fewer than two points)."""
@@ -66,7 +81,7 @@ class FiniteMetric(abc.ABC):
 
     def ball(self, centre: Point, radius: float) -> list[Point]:
         """Return all points within distance ``radius`` of ``centre`` (inclusive)."""
-        return [p for p in self.points() if self.distance(centre, p) <= radius]
+        return [p for p in self.point_tuple if self.distance(centre, p) <= radius]
 
     # ------------------------------------------------------------------
     # Views
@@ -81,7 +96,7 @@ class FiniteMetric(abc.ABC):
         """
         if self.size == 0:
             raise EmptyMetricError("cannot build the complete graph of an empty metric")
-        graph = WeightedGraph(vertices=self.points())
+        graph = WeightedGraph(vertices=self.point_tuple)
         for p, q in self.pairs():
             d = self.distance(p, q)
             if d <= 0.0:
@@ -93,7 +108,7 @@ class FiniteMetric(abc.ABC):
 
     def distance_matrix(self) -> dict[Point, dict[Point, float]]:
         """Return the full symmetric distance matrix as nested dictionaries."""
-        pts = self.points()
+        pts = self.point_tuple
         matrix: dict[Point, dict[Point, float]] = {p: {} for p in pts}
         for p in pts:
             matrix[p][p] = 0.0
@@ -121,7 +136,7 @@ class FiniteMetric(abc.ABC):
         positive distance), symmetry and the triangle inequality.  Intended for
         tests and small spaces — the triangle-inequality check is ``O(n³)``.
         """
-        pts = self.points()
+        pts = self.point_tuple
         for p in pts:
             if abs(self.distance(p, p)) > tolerance:
                 raise MetricAxiomError(f"δ({p!r}, {p!r}) = {self.distance(p, p)} ≠ 0")

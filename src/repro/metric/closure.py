@@ -1,0 +1,273 @@
+"""A lazy complete-graph view of a finite metric space.
+
+Section 2 of the paper views a metric space ``(M, δ)`` as the complete
+weighted graph over its points.  :meth:`FiniteMetric.complete_graph`
+materializes that view — all ``n(n-1)/2`` edges in adjacency dictionaries —
+which costs Θ(n²) memory before any algorithm has done any work.
+
+:class:`MetricClosure` is the lazy replacement: it implements the read
+interface of :class:`~repro.graph.weighted_graph.WeightedGraph` (so it can
+stand in as ``Spanner.base`` and be consumed by Dijkstra, Kruskal, stretch
+verification, ...) but answers every query directly from the metric:
+
+* ``weight(u, v)`` is one ``δ`` evaluation,
+* ``edges()`` is a chunk-computed generator (``O(n)`` peak memory),
+* ``edges_sorted_by_weight()`` returns the streaming sorted pipeline of
+  :mod:`repro.metric.stream` (note: an *iterator*, not a list — every
+  consumer in this codebase only iterates),
+* ``mst`` weight queries take the dense-Prim fast path
+  (:meth:`dense_metric_mst_weight`), ``O(n)`` memory and ``O(n²)`` distance
+  evaluations instead of sorting all pairs.
+
+The view is immutable: mutators raise
+:class:`~repro.errors.ImmutableGraphError`.  Algorithms that need a mutable
+spanning subgraph start from :meth:`empty_spanning_subgraph`, which returns a
+real (empty) :class:`WeightedGraph` — exactly what every spanner construction
+does.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+from typing import NoReturn
+
+import numpy as np
+
+from repro.errors import (
+    EdgeNotFoundError,
+    EmptyMetricError,
+    ImmutableGraphError,
+    InvalidWeightError,
+    MetricAxiomError,
+    VertexNotFoundError,
+)
+from repro.graph.weighted_graph import Edge, Vertex, WeightedEdge, WeightedGraph
+from repro.metric.base import FiniteMetric
+from repro.metric.stream import iter_pairs, sorted_pair_stream
+
+
+class MetricClosure(WeightedGraph):
+    """The complete weighted graph ``(V, V choose 2, δ)`` of a metric, computed lazily.
+
+    Parameters
+    ----------
+    metric:
+        The finite metric space to view.  Must be non-empty (matching
+        ``complete_graph``).  The metric is shared, not copied: metrics are
+        immutable, so the view never goes stale.
+    """
+
+    __slots__ = ("_metric", "_points", "_ids")
+
+    def __init__(self, metric: FiniteMetric) -> None:
+        points = metric.point_tuple
+        if not points:
+            raise EmptyMetricError("cannot build the complete graph of an empty metric")
+        self._metric = metric
+        self._points = points
+        self._ids = {p: i for i, p in enumerate(points)}
+
+    @property
+    def metric(self) -> FiniteMetric:
+        """The underlying metric space."""
+        return self._metric
+
+    # ------------------------------------------------------------------
+    # Mutation is not supported: the closure is a view.
+    # ------------------------------------------------------------------
+    def _immutable(self, operation: str) -> NoReturn:
+        raise ImmutableGraphError(
+            f"cannot {operation}: MetricClosure is a read-only view of a metric"
+        )
+
+    def add_vertex(self, vertex: Vertex) -> None:
+        self._immutable("add a vertex")
+
+    def add_edge(self, u: Vertex, v: Vertex, weight: float) -> None:
+        self._immutable("add an edge")
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        self._immutable("remove an edge")
+
+    def remove_vertex(self, vertex: Vertex) -> None:
+        self._immutable("remove a vertex")
+
+    # ------------------------------------------------------------------
+    # Queries, answered from the metric
+    # ------------------------------------------------------------------
+    @property
+    def number_of_vertices(self) -> int:
+        return len(self._points)
+
+    @property
+    def number_of_edges(self) -> int:
+        n = len(self._points)
+        return n * (n - 1) // 2
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        return vertex in self._ids
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        return u != v and u in self._ids and v in self._ids
+
+    def weight(self, u: Vertex, v: Vertex) -> float:
+        if not self.has_edge(u, v):
+            raise EdgeNotFoundError(u, v)
+        distance = self._metric.distance(u, v)
+        if distance <= 0.0:
+            raise MetricAxiomError(
+                f"distinct points {u!r}, {v!r} at non-positive distance {distance}"
+            )
+        return distance
+
+    def degree(self, vertex: Vertex) -> int:
+        if vertex not in self._ids:
+            raise VertexNotFoundError(vertex)
+        return len(self._points) - 1
+
+    def max_degree(self) -> int:
+        return max(len(self._points) - 1, 0)
+
+    def neighbours(self, vertex: Vertex) -> Iterator[Vertex]:
+        if vertex not in self._ids:
+            raise VertexNotFoundError(vertex)
+        return (p for p in self._points if p != vertex)
+
+    def incident(self, vertex: Vertex) -> Iterator[tuple[Vertex, float]]:
+        if vertex not in self._ids:
+            raise VertexNotFoundError(vertex)
+        metric = self._metric
+        return ((p, metric.distance(vertex, p)) for p in self._points if p != vertex)
+
+    def adjacency(self, vertex: Vertex) -> Mapping[Vertex, float]:
+        return dict(self.incident(vertex))
+
+    def vertices(self) -> Iterator[Vertex]:
+        return iter(self._points)
+
+    def edges(self) -> Iterator[WeightedEdge]:
+        """Iterate all pairs with weights, chunk-computed (``O(n)`` peak memory)."""
+        return iter_pairs(self._metric)
+
+    def edges_sorted_by_weight(self) -> Iterator[WeightedEdge]:  # type: ignore[override]
+        """The streaming sorted pipeline (an iterator, unlike the base class's list).
+
+        Yields the exact order (and floats) the materialized
+        ``complete_graph().edges_sorted_by_weight()`` would, at ``O(n)``
+        peak memory; see :func:`repro.metric.stream.sorted_pair_stream`.
+        """
+        return sorted_pair_stream(self._metric)
+
+    def total_weight(self) -> float:
+        return sum(weight for _, _, weight in self.edges())
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "MetricClosure":
+        """Return another view of the same (immutable) metric."""
+        return MetricClosure(self._metric)
+
+    def subgraph_with_edges(self, edges: Iterable[Edge]) -> WeightedGraph:
+        sub = WeightedGraph(vertices=self._points)
+        for u, v in edges:
+            sub.add_edge(u, v, self.weight(u, v))
+        return sub
+
+    def empty_spanning_subgraph(self) -> WeightedGraph:
+        """A real, mutable graph over the same points with no edges (Algorithm 1, line 1)."""
+        return WeightedGraph(vertices=self._points)
+
+    def union_edges(self, other: WeightedGraph) -> WeightedGraph:
+        # Materializes all pairs by definition of the operation.
+        merged = other.copy()
+        for p in self._points:
+            merged.add_vertex(p)
+        for u, v, weight in self.edges():
+            merged.add_edge(u, v, weight)
+        return merged
+
+    def is_subgraph_of(self, other: WeightedGraph) -> bool:
+        for vertex in self._points:
+            if not other.has_vertex(vertex):
+                return False
+        for u, v, _ in self.edges():
+            if not other.has_edge(u, v):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Fast paths
+    # ------------------------------------------------------------------
+    def dense_metric_mst_weight(self) -> float:
+        """Return ``w(MST)`` of the closure by dense Prim: ``O(n)`` memory.
+
+        On a complete graph Prim's algorithm needs no priority queue: keep
+        the best known connection cost per point and relax one full row per
+        step — ``n - 1`` rows of ``n`` distances, never sorting or storing
+        the pair list.  Every MST of a graph has the same total weight, so
+        this matches ``mst_weight(complete_graph())`` up to float summation
+        order.  :func:`repro.graph.mst.mst_weight` dispatches here.
+
+        Every row is validated as it is computed (each point's row is
+        visited exactly once), so a non-positive or non-finite interpoint
+        distance raises exactly as materializing ``complete_graph`` would,
+        instead of silently producing a wrong weight.
+        """
+        points = self._points
+        n = len(points)
+        if n <= 1:
+            return 0.0
+        metric = self._metric
+        if hasattr(metric, "distances_from"):
+            def raw_row(index: int) -> np.ndarray:
+                return metric.distances_from(points[index])
+        else:
+            def raw_row(index: int) -> np.ndarray:
+                source = points[index]
+                return np.fromiter(
+                    (metric.distance(source, q) for q in points), dtype=float, count=n
+                )
+
+        def row_of(index: int) -> np.ndarray:
+            row = raw_row(index)
+            bad = row <= 0.0
+            bad[index] = False  # the diagonal is legitimately zero
+            if bad.any():
+                offender = int(np.nonzero(bad)[0][0])
+                raise MetricAxiomError(
+                    f"distinct points {points[index]!r}, {points[offender]!r} "
+                    f"at non-positive distance {float(row[offender])}"
+                )
+            if not np.isfinite(row).all():
+                offender = int(np.nonzero(~np.isfinite(row))[0][0])
+                raise InvalidWeightError(
+                    f"edge weight must be finite, got {float(row[offender])}"
+                )
+            return row
+
+        best = row_of(0)
+        in_tree = np.zeros(n, dtype=bool)
+        in_tree[0] = True
+        total = 0.0
+        for _ in range(n - 1):
+            candidate = int(np.argmin(np.where(in_tree, np.inf, best)))
+            total += float(best[candidate])
+            in_tree[candidate] = True
+            np.minimum(best, row_of(candidate), out=best)
+        return total
+
+    # ------------------------------------------------------------------
+    # Dunder / representation
+    # ------------------------------------------------------------------
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._ids
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricClosure(n={self.number_of_vertices}, "
+            f"m={self.number_of_edges}, metric={self._metric!r})"
+        )

@@ -62,33 +62,50 @@ class EuclideanMetric(FiniteMetric):
         return self._points
 
     def distance(self, p: Point, q: Point) -> float:
-        diff = self._coordinates[p] - self._coordinates[q]
-        return float(math.sqrt(float(np.dot(diff, diff))))
+        # Accumulate per dimension in index order: the exact same IEEE-754
+        # operation sequence as block_distances, so the scalar and vectorized
+        # paths produce bitwise-identical floats (the streamed pair pipeline
+        # relies on this for its order-preservation guarantee).
+        row_p = self._coordinates[p]
+        row_q = self._coordinates[q]
+        total = 0.0
+        for k in range(row_p.shape[0]):
+            diff = float(row_p[k]) - float(row_q[k])
+            total += diff * diff
+        return math.sqrt(total)
+
+    def block_distances(self, start: int, stop: int) -> np.ndarray:
+        """Return the ``(stop - start, n)`` distances from rows ``start:stop`` to all points.
+
+        This is the vectorized block kernel behind the streaming pair pipeline
+        (:mod:`repro.metric.stream`): squared distances are accumulated one
+        dimension at a time, in the same order as :meth:`distance`, so every
+        entry is bitwise identical to the scalar result.
+        """
+        coords = self._coordinates
+        block = coords[start:stop]
+        squared = np.zeros((block.shape[0], coords.shape[0]))
+        for k in range(coords.shape[1]):
+            diff = np.subtract.outer(block[:, k], coords[:, k])
+            squared += diff * diff
+        return np.sqrt(squared, out=squared)
 
     def nearest_neighbour(self, p: Point) -> tuple[Point, float]:
         """Return ``(q, δ(p, q))`` for the point ``q ≠ p`` closest to ``p``."""
         if self.size < 2:
             raise EmptyMetricError("nearest neighbour needs at least two points")
-        diffs = self._coordinates - self._coordinates[p]
-        dists = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+        dists = self.distances_from(p)
         dists[p] = np.inf
         q = int(np.argmin(dists))
         return q, float(dists[q])
 
     def distances_from(self, p: Point) -> np.ndarray:
         """Return the vector of distances from ``p`` to every point (including itself)."""
-        diffs = self._coordinates - self._coordinates[p]
-        return np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+        return self.block_distances(p, p + 1)[0]
 
     def pairwise_distance_matrix(self) -> np.ndarray:
         """Return the dense ``(n, n)`` pairwise distance matrix."""
-        sq_norms = np.einsum("ij,ij->i", self._coordinates, self._coordinates)
-        gram = self._coordinates @ self._coordinates.T
-        squared = sq_norms[:, None] + sq_norms[None, :] - 2.0 * gram
-        np.maximum(squared, 0.0, out=squared)
-        # The Gram-matrix formula leaves tiny numerical residue on the diagonal.
-        np.fill_diagonal(squared, 0.0)
-        return np.sqrt(squared)
+        return self.block_distances(0, self._coordinates.shape[0])
 
     def translate(self, offset: Sequence[float]) -> "EuclideanMetric":
         """Return a translated copy (distances are unchanged)."""

@@ -38,6 +38,7 @@ import math
 from repro.errors import InvalidStretchError
 from repro.core.spanner import Spanner
 from repro.metric.base import FiniteMetric
+from repro.metric.closure import MetricClosure
 from repro.metric.nets import NetHierarchy
 
 
@@ -68,7 +69,7 @@ def bounded_degree_spanner(
     if not 0.0 < epsilon < 1.0:
         raise InvalidStretchError(f"epsilon must lie in (0, 1), got {epsilon}")
 
-    base = metric.complete_graph()
+    base = MetricClosure(metric)
     subgraph = base.empty_spanning_subgraph()
 
     hierarchy = NetHierarchy(metric, scale_factor=scale_factor)

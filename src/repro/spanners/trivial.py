@@ -21,6 +21,7 @@ from repro.graph.mst import kruskal_mst
 from repro.graph.shortest_paths import dijkstra
 from repro.graph.weighted_graph import Vertex, WeightedGraph
 from repro.metric.base import FiniteMetric
+from repro.metric.closure import MetricClosure
 
 
 def mst_spanner(graph: WeightedGraph) -> Spanner:
@@ -40,8 +41,12 @@ def identity_spanner(graph: WeightedGraph) -> Spanner:
 
 
 def complete_metric_spanner(metric: FiniteMetric) -> Spanner:
-    """Return the complete graph of a metric as the stretch-1 spanner."""
-    complete = metric.complete_graph()
+    """Return the complete graph of a metric as the stretch-1 spanner.
+
+    Both the base and the subgraph are lazy :class:`MetricClosure` views —
+    the ``n(n-1)/2`` edges exist only as metric queries, never in memory.
+    """
+    complete = MetricClosure(metric)
     return Spanner(base=complete, subgraph=complete.copy(), stretch=1.0, algorithm="complete")
 
 

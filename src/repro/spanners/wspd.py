@@ -24,6 +24,7 @@ import numpy as np
 from repro.errors import InvalidStretchError
 from repro.core.spanner import Spanner
 from repro.metric.euclidean import EuclideanMetric
+from repro.metric.closure import MetricClosure
 
 
 @dataclass
@@ -134,7 +135,7 @@ def wspd_spanner(metric: EuclideanMetric, t: float) -> Spanner:
     """
     separation = separation_for_stretch(t)
     coordinates = metric.coordinates
-    base = metric.complete_graph()
+    base = MetricClosure(metric)
     subgraph = base.empty_spanning_subgraph()
 
     root = build_split_tree(coordinates)

@@ -23,6 +23,7 @@ import numpy as np
 from repro.errors import InvalidStretchError, MetricError
 from repro.core.spanner import Spanner
 from repro.metric.euclidean import EuclideanMetric
+from repro.metric.closure import MetricClosure
 
 
 def yao_graph_stretch(cones: int) -> float:
@@ -65,7 +66,7 @@ def yao_graph_spanner(metric: EuclideanMetric, cones: int) -> Spanner:
 
     coordinates = metric.coordinates
     n = coordinates.shape[0]
-    base = metric.complete_graph()
+    base = MetricClosure(metric)
     subgraph = base.empty_spanning_subgraph()
 
     cone_angle = 2.0 * math.pi / cones

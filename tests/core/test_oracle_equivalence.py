@@ -168,3 +168,60 @@ class TestCachedOracle:
             spanner.metadata["cache_hits"] + spanner.metadata["cache_misses"]
             == spanner.metadata["distance_queries"]
         )
+
+
+class TestMonotoneCutoffMode:
+    """The greedy loop's bitset cache mode (see CachedDijkstraOracle docs)."""
+
+    def test_default_is_value_cache(self, small_random_graph):
+        oracle = CachedDijkstraOracle(small_random_graph)
+        assert oracle.monotone_cutoffs is False
+
+    def test_greedy_enables_monotone_mode_and_counts_match_value_mode(self):
+        """Hit/miss/settle counts are identical in both cache representations."""
+        metric = uniform_points(60, 2, seed=47)
+        streamed = greedy_spanner_of_metric(metric, 2.0, oracle="cached")
+
+        # Re-run the same examination sequence against a value-cache oracle.
+        complete = metric.complete_graph()
+        spanner_graph = complete.empty_spanning_subgraph()
+        oracle = CachedDijkstraOracle(spanner_graph)  # monotone_cutoffs off
+        added = 0
+        for u, v, weight in complete.edges_sorted_by_weight():
+            cutoff = 2.0 * weight
+            if oracle.distance_within(u, v, cutoff) > cutoff:
+                spanner_graph.add_edge(u, v, weight)
+                oracle.notify_edge_added(u, v, weight)
+                added += 1
+        assert spanner_graph.same_edges(streamed.subgraph)
+        assert added == streamed.metadata["edges_added"]
+        assert float(oracle.cache_hits) == streamed.metadata["cache_hits"]
+        assert float(oracle.cache_misses) == streamed.metadata["cache_misses"]
+        assert float(oracle.settled_count) == streamed.metadata["dijkstra_settles"]
+
+    def test_monotone_mode_reports_peak_bounds(self):
+        metric = uniform_points(40, 2, seed=31)
+        spanner = greedy_spanner_of_metric(metric, 2.0, oracle="cached")
+        assert "peak_cached_bounds" in spanner.metadata
+        # The value dictionary only ever holds edge bounds in monotone mode,
+        # far below the ~n²/2 entries the value cache would accumulate.
+        n = metric.size
+        assert spanner.metadata["peak_cached_bounds"] < n * (n - 1) / 4
+
+    def test_monotone_mode_answers_certify_the_verdict(self, small_random_graph):
+        """In monotone mode a hit may return the cutoff itself; the verdict
+        (within / not within) must still match the exact distance."""
+        spanner_graph = small_random_graph.copy()
+        oracle = CachedDijkstraOracle(spanner_graph)
+        oracle.monotone_cutoffs = True
+        vertices = list(spanner_graph.vertices())
+        pairs = [(vertices[i], vertices[j]) for i in range(6) for j in range(i + 1, 6)]
+        queries = sorted(
+            (pair_distance(spanner_graph, u, v), u, v) for u, v in pairs
+        )
+        for exact, u, v in queries:  # non-decreasing cutoffs, as promised
+            cutoff = exact * 1.01
+            answer = oracle.distance_within(u, v, cutoff)
+            # The pair is genuinely within the cutoff, so the oracle must
+            # certify it: any returned bound at most the cutoff is correct.
+            assert answer <= cutoff

@@ -5,7 +5,12 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import UnknownWorkloadError
-from repro.experiments.harness import ExperimentResult, Stopwatch, timed
+from repro.experiments.harness import (
+    ExperimentResult,
+    Stopwatch,
+    timed,
+    traced_peak_memory,
+)
 from repro.experiments.reporting import format_value, render_comparison, render_table
 from repro.experiments.workloads import WorkloadSpec, get_workload, list_workloads, register
 from repro.graph.weighted_graph import WeightedGraph
@@ -38,6 +43,61 @@ class TestExperimentResult:
         first = watch.lap()
         second = watch.lap()
         assert first >= 0.0 and second >= 0.0
+
+    def test_timed_records_peak_memory(self):
+        result = ExperimentResult("E0", "x", "y")
+        with timed(result, measure_memory=True):
+            _ = [0] * 50_000  # ~400 KB transient allocation
+        assert result.peak_memory_bytes is not None
+        assert result.peak_memory_bytes > 50_000 * 8 // 2
+
+    def test_timed_skips_memory_tracking_by_default(self):
+        result = ExperimentResult("E0", "x", "y")
+        with timed(result):
+            pass
+        assert result.peak_memory_bytes is None
+        assert "peak memory" not in result.render()
+
+    def test_render_includes_peak_memory(self):
+        result = ExperimentResult("E0", "x", "y")
+        result.peak_memory_bytes = 3 * 1_048_576
+        assert "peak memory: 3.0 MiB" in result.render()
+
+    def test_traced_peak_memory_scales_with_allocation(self):
+        with traced_peak_memory() as read_small:
+            _ = [0] * 10_000
+        with traced_peak_memory() as read_large:
+            _ = [0] * 500_000
+        assert read_large() > read_small()
+
+    def test_traced_peak_memory_nests(self):
+        with traced_peak_memory() as outer:
+            with traced_peak_memory() as inner:
+                _ = [0] * 100_000
+            assert inner() > 0
+        assert outer() >= inner()  # the inner window is inside the outer one
+
+    def test_closed_context_keeps_its_peak_after_a_sibling_opens(self):
+        with traced_peak_memory() as first:
+            _ = [0] * 200_000  # ~1.6 MB
+        recorded = first()
+        with traced_peak_memory():
+            # The sibling context must not bleed into the closed one's reading.
+            assert first() == recorded
+        assert first() == recorded
+        assert recorded > 1_000_000
+
+    def test_nested_reset_does_not_erase_outer_peak(self):
+        # The outer context allocates (and frees) ~6 MB before the inner
+        # context opens; the inner tracemalloc.reset_peak() must not make
+        # the outer context forget that high-water mark.
+        with traced_peak_memory() as outer:
+            blob = [0] * 800_000  # ~6 MB
+            del blob
+            with traced_peak_memory() as inner:
+                _ = [0] * 1_000
+            assert inner() < 1_000_000
+        assert outer() > 4_000_000
 
 
 class TestReporting:

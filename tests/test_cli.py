@@ -71,3 +71,28 @@ class TestCommands:
         assert main(["spanner", "uniform-2d-small", "--stretch", "1.5", "--measure-stretch"]) == 0
         output = capsys.readouterr().out
         assert "measured_stretch" in output
+
+    def test_bench_oracles_writes_trajectory_with_memory(self, capsys, tmp_path):
+        out = tmp_path / "BENCH.json"
+        assert main(
+            ["bench-oracles", "--n", "30", "--strategies", "cached", "--output", str(out)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "identical edge sets: True" in output
+        assert "peak memory [cached]" in output
+        assert out.exists()
+
+    def test_bench_oracles_no_memory_flag(self, capsys, tmp_path):
+        out = tmp_path / "BENCH.json"
+        assert main(
+            ["bench-oracles", "--n", "30", "--strategies", "cached",
+             "--no-memory", "--output", str(out)]
+        ) == 0
+        assert "peak memory" not in capsys.readouterr().out
+
+    def test_bench_oracles_rejects_unknown_strategy(self, capsys, tmp_path):
+        out = tmp_path / "BENCH.json"
+        assert main(
+            ["bench-oracles", "--n", "30", "--strategies", "warp-drive", "--output", str(out)]
+        ) == 2
+        assert "unknown oracle strategies" in capsys.readouterr().out
