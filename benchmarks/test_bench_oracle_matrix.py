@@ -18,6 +18,7 @@ import pytest
 from repro.core.greedy import greedy_spanner_of_metric
 from repro.experiments.experiments import experiment_oracle_matrix
 from repro.experiments.oracle_bench import (
+    BENCH_PRESETS,
     euclidean_workload,
     graph_workload,
     merge_run_into_file,
@@ -30,6 +31,7 @@ BASELINE_PATH = REPO_ROOT / "benchmarks" / "BENCH_oracles.json"
 
 EUCLIDEAN_BENCH = euclidean_workload(n=150)
 GRAPH_BENCH = graph_workload(n=120, p=0.15)
+APPROX_BENCH_KEY = "uniform-euclidean-n400-d2-seed7-t1.5"
 
 
 @pytest.fixture(scope="module")
@@ -40,6 +42,12 @@ def euclidean_run():
 @pytest.fixture(scope="module")
 def graph_run():
     return run_oracle_matrix(GRAPH_BENCH)
+
+
+@pytest.fixture(scope="module")
+def approx_run():
+    workload, strategies = BENCH_PRESETS[APPROX_BENCH_KEY]
+    return run_oracle_matrix(workload, strategies=strategies)
 
 
 def test_bench_default_greedy_path(benchmark):
@@ -68,8 +76,24 @@ def test_bench_oracle_matrix_general_graph(graph_run):
     assert strategies["cached"]["dijkstra_settles"] <= strategies["bounded"]["dijkstra_settles"]
 
 
+def test_bench_approx_engines_agree_and_incremental_wins(approx_run):
+    """The incremental and from-scratch cluster engines build the identical
+    approximate-greedy spanner, and incremental transitions settle at least
+    5x less than the from-scratch replay (the PR's headline claim; the
+    committed n=2000 row in BENCH_oracles.json shows the same shape)."""
+    assert approx_run["approx_identical_edge_sets"]
+    incremental = approx_run["strategies"]["approx-greedy"]
+    scratch = approx_run["strategies"]["approx-greedy-scratch"]
+    assert incremental["spanner_edges"] == scratch["spanner_edges"]
+    assert incremental["cluster_query_settles"] == scratch["cluster_query_settles"]
+    if incremental["cluster_transitions"] > 0:
+        assert scratch["cluster_transition_settles"] >= 5.0 * max(
+            incremental["cluster_transition_settles"], 1.0
+        )
+
+
 @pytest.mark.bench_regression
-def test_bench_no_operation_count_regression(euclidean_run, graph_run, tmp_path):
+def test_bench_no_operation_count_regression(euclidean_run, graph_run, approx_run, tmp_path):
     """Fresh operation counts must stay within +25% of the committed baseline."""
     sys.path.insert(0, str(REPO_ROOT / "scripts"))
     try:
@@ -80,6 +104,7 @@ def test_bench_no_operation_count_regression(euclidean_run, graph_run, tmp_path)
     fresh_path = tmp_path / "BENCH_oracles.json"
     merge_run_into_file(fresh_path, euclidean_run)
     merge_run_into_file(fresh_path, graph_run)
+    merge_run_into_file(fresh_path, approx_run)
 
     assert BASELINE_PATH.exists(), (
         "committed baseline missing; regenerate with "

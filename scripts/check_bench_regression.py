@@ -32,8 +32,18 @@ DEFAULT_THRESHOLD = 0.25
 
 #: Deterministic counters compared per strategy (mirrors
 #: ``repro.experiments.oracle_bench.OPERATION_COUNT_KEYS``; duplicated here so
-#: the script runs without PYTHONPATH set up).
-OPERATION_COUNT_KEYS = ("dijkstra_settles", "distance_queries")
+#: the script runs without PYTHONPATH set up).  The ``cluster_*`` /
+#: ``approximate_queries`` counters gate the Approximate-Greedy rows
+#: (op counts only — never wall-clock).
+OPERATION_COUNT_KEYS = (
+    "dijkstra_settles",
+    "distance_queries",
+    "approximate_queries",
+    "cluster_merges",
+    "cluster_initial_settles",
+    "cluster_transition_settles",
+    "cluster_query_settles",
+)
 
 
 def load_document(path: str | Path) -> dict:
@@ -62,6 +72,11 @@ def find_regressions(
         fresh_run = fresh_runs[key]
         if not fresh_run.get("identical_edge_sets", True):
             problems.append(f"{key}: oracle strategies produced different edge sets")
+        if not fresh_run.get("approx_identical_edge_sets", True):
+            problems.append(
+                f"{key}: incremental and from-scratch approx-greedy engines "
+                "produced different edge sets"
+            )
         base_strategies = baseline_runs[key].get("strategies", {})
         fresh_strategies = fresh_run.get("strategies", {})
         for name in sorted(set(base_strategies) & set(fresh_strategies)):

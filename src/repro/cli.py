@@ -10,10 +10,13 @@ Entry points (also usable as ``python -m repro.cli <command>``):
   workload size and stretch.
 * ``spanner`` — build a greedy spanner of a registered workload and print its
   statistics.
-* ``bench-oracles`` — run the distance-oracle strategy matrix on a random
-  Euclidean metric (streamed through the lazy metric pipeline, so n in the
-  thousands works without Θ(n²) memory), print the comparison table with
-  per-strategy tracemalloc peak memory and merge the measurements into a
+* ``bench-oracles`` — run the strategy matrix (exact distance oracles plus
+  the ``approx-greedy`` / ``approx-greedy-scratch`` cluster-engine rows) on
+  an ad-hoc workload (uniform / clustered / grid Euclidean or an
+  Erdős–Rényi graph, streamed through the lazy metric pipeline so n in the
+  tens of thousands works without Θ(n²) memory) or on named preset rows
+  (``--workloads``), print the comparison table with per-strategy
+  tracemalloc peak memory and merge the measurements into a
   ``BENCH_oracles.json`` perf trajectory (see docs/PERFORMANCE.md).
 
 The CLI exists so the repository can be exercised without writing Python —
@@ -114,39 +117,90 @@ def _command_spanner(args: argparse.Namespace) -> int:
 
 def _command_bench_oracles(args: argparse.Namespace) -> int:
     from repro.experiments.oracle_bench import (
+        BENCH_PRESETS,
+        clustered_workload,
         euclidean_workload,
         graph_workload,
+        grid_workload,
         merge_run_into_file,
         render_rows,
         run_oracle_matrix,
+        valid_strategy_names,
         workload_key,
     )
 
-    strategies = tuple(name.strip() for name in args.strategies.split(",") if name.strip())
-    unknown = [name for name in strategies if name not in ORACLE_FACTORIES]
-    if not strategies or unknown:
-        print(
-            f"unknown oracle strategies: {', '.join(unknown) or '(none given)'}; "
-            f"valid names: {', '.join(sorted(ORACLE_FACTORIES))}"
-        )
-        return 2
-    if args.kind == "euclidean":
-        workload = euclidean_workload(
-            n=args.n, dim=args.dim, seed=args.seed, stretch=args.stretch
-        )
+    valid_names = valid_strategy_names()
+    strategies: Optional[tuple[str, ...]] = None
+    if args.strategies is not None:
+        strategies = tuple(name.strip() for name in args.strategies.split(",") if name.strip())
+        unknown = [name for name in strategies if name not in valid_names]
+        if not strategies or unknown:
+            print(
+                f"unknown oracle strategies: {', '.join(unknown) or '(none given)'}; "
+                f"valid names: {', '.join(sorted(valid_names))}"
+            )
+            return 2
+
+    # Assemble the (workload, strategies) rows to run: either named preset
+    # rows (--workloads, so one baseline row can be regenerated without
+    # rerunning the whole matrix) or one ad-hoc workload from the flags.
+    rows: list[tuple[dict[str, object], tuple[str, ...]]] = []
+    if args.workloads:
+        requested = [key.strip() for key in args.workloads.split(",") if key.strip()]
+        if requested == ["all"]:
+            requested = list(BENCH_PRESETS)
+        unknown_keys = [key for key in requested if key not in BENCH_PRESETS]
+        if not requested or unknown_keys:
+            print(
+                f"unknown bench workloads: {', '.join(unknown_keys) or '(none given)'}; "
+                "valid keys (or 'all'):"
+            )
+            for key in BENCH_PRESETS:
+                print(f"  {key}")
+            return 2
+        for key in requested:
+            workload, default_strategies = BENCH_PRESETS[key]
+            rows.append((workload, strategies or default_strategies))
     else:
-        workload = graph_workload(n=args.n, p=args.p, seed=args.seed, stretch=args.stretch)
-    run = run_oracle_matrix(workload, strategies=strategies, measure_memory=not args.no_memory)
-    merge_run_into_file(args.output, run)
-    print(render_table(render_rows(run), title=f"oracle matrix: {workload_key(workload)}"))
-    for name, speedup in sorted(run.get("speedup_vs_bounded", {}).items()):
-        print(f"speedup vs bounded [{name}]: {speedup:.2f}x")
-    for name, record in run["strategies"].items():
-        if "peak_memory_bytes" in record:
-            print(f"peak memory [{name}]: {record['peak_memory_bytes'] / 1_048_576:.1f} MiB")
-    print(f"identical edge sets: {run['identical_edge_sets']}")
+        if args.kind == "euclidean":
+            workload = euclidean_workload(
+                n=args.n, dim=args.dim, seed=args.seed, stretch=args.stretch
+            )
+        elif args.kind == "clustered":
+            workload = clustered_workload(
+                n=args.n, dim=args.dim, clusters=args.clusters,
+                seed=args.seed, stretch=args.stretch,
+            )
+        elif args.kind == "grid":
+            workload = grid_workload(side=args.side, dim=args.dim, stretch=args.stretch)
+        else:
+            workload = graph_workload(n=args.n, p=args.p, seed=args.seed, stretch=args.stretch)
+        rows.append((workload, strategies or ("bounded", "bidirectional", "cached")))
+
+    all_consistent = True
+    for workload, row_strategies in rows:
+        try:
+            run = run_oracle_matrix(
+                workload, strategies=row_strategies, measure_memory=not args.no_memory
+            )
+        except ValueError as error:
+            # e.g. an approx-greedy strategy asked to run on a graph workload.
+            print(f"cannot bench {workload_key(workload)}: {error}")
+            return 2
+        merge_run_into_file(args.output, run)
+        print(render_table(render_rows(run), title=f"oracle matrix: {workload_key(workload)}"))
+        for name, speedup in sorted(run.get("speedup_vs_bounded", {}).items()):
+            print(f"speedup vs bounded [{name}]: {speedup:.2f}x")
+        for name, record in run["strategies"].items():
+            if "peak_memory_bytes" in record:
+                print(f"peak memory [{name}]: {record['peak_memory_bytes'] / 1_048_576:.1f} MiB")
+        print(f"identical edge sets: {run['identical_edge_sets']}")
+        if "approx_identical_edge_sets" in run:
+            print(f"approx engines identical: {run['approx_identical_edge_sets']}")
+            all_consistent = all_consistent and run["approx_identical_edge_sets"]
+        all_consistent = all_consistent and run["identical_edge_sets"]
     print(f"trajectory written to {args.output}")
-    return 0 if run["identical_edge_sets"] else 1
+    return 0 if all_consistent else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -195,21 +249,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument(
         "--kind",
-        choices=["euclidean", "graph"],
+        choices=["euclidean", "clustered", "grid", "graph"],
         default="euclidean",
-        help="workload family: uniform Euclidean points or an Erdős–Rényi graph",
+        help=(
+            "ad-hoc workload family: uniform / clustered-Gaussian / grid "
+            "Euclidean points or an Erdős–Rényi graph"
+        ),
     )
     bench_parser.add_argument("--n", type=int, default=400, help="number of points / vertices")
-    bench_parser.add_argument("--dim", type=int, default=2, help="dimension (euclidean only)")
+    bench_parser.add_argument(
+        "--dim", type=int, default=2, help="dimension (euclidean/clustered/grid)"
+    )
+    bench_parser.add_argument(
+        "--clusters", type=int, default=50, help="number of Gaussian clusters (clustered only)"
+    )
+    bench_parser.add_argument(
+        "--side", type=int, default=100, help="grid side length (grid only; n = side**dim)"
+    )
     bench_parser.add_argument(
         "--p", type=float, default=0.15, help="edge probability (graph only)"
     )
     bench_parser.add_argument("--seed", type=int, default=7)
     bench_parser.add_argument("--stretch", type=float, default=2.0)
     bench_parser.add_argument(
+        "--workloads",
+        default=None,
+        help=(
+            "comma-separated bench preset keys (or 'all') to (re)run named "
+            "matrix rows instead of an ad-hoc workload; see the keys in "
+            "benchmarks/BENCH_oracles.json"
+        ),
+    )
+    bench_parser.add_argument(
         "--strategies",
-        default="bounded,bidirectional,cached",
-        help="comma-separated oracle names to bench",
+        default=None,
+        help=(
+            "comma-separated strategy names to bench (oracle names plus "
+            "approx-greedy / approx-greedy-scratch); defaults to "
+            "bounded,bidirectional,cached for ad-hoc workloads and to each "
+            "row's recorded strategies with --workloads"
+        ),
     )
     bench_parser.add_argument(
         "--output", default="BENCH_oracles.json", help="JSON trajectory file to merge into"

@@ -19,9 +19,13 @@ doubling metrics, possibly unbounded degree.  Algorithm
 3. Partition ``E' \\ E₀`` into weight buckets with geometric ratio ``μ`` and
    simulate the greedy algorithm with stretch ``√(t·t')`` over the buckets in
    non-decreasing weight order, answering distance queries *approximately* on
-   a cluster graph (:class:`~repro.core.cluster_graph.ClusterGraph`) that is
-   rebuilt at each bucket transition with a radius proportional to the
-   bucket's weight scale.
+   a cluster graph (:class:`~repro.core.cluster_graph.ClusterGraph`) whose
+   radius is proportional to the bucket's weight scale: at each bucket
+   transition the clusters are coarsened *incrementally* (the DN97/GLN02
+   hierarchy — previous centres merge into new ones at cost proportional to
+   the cluster nodes touched; ``cluster_mode="from-scratch"`` recomputes the
+   identical hierarchy from nothing instead, which is what the benches
+   compare against).
 
 The output is a subgraph of ``G'`` (so its degree is bounded by ``G'``'s) and,
 because the cluster-graph queries never *underestimate* spanner distances,
@@ -119,6 +123,8 @@ def approximate_greedy_spanner(
     base: str = "net-tree",
     bucket_ratio: Optional[float] = None,
     cluster_radius_factor: Optional[float] = None,
+    cluster_mode: str = "incremental",
+    verify_cluster_transitions: bool = False,
 ) -> Spanner:
     """Run Algorithm Approximate-Greedy on ``metric`` with target stretch ``1 + ε``.
 
@@ -135,14 +141,29 @@ def approximate_greedy_spanner(
         algorithm of [DN97, GLN02], with far smaller constants).
     bucket_ratio, cluster_radius_factor:
         Optional overrides of the derived simulation parameters.
+    cluster_mode:
+        How the cluster graph is refreshed at bucket transitions:
+        ``"incremental"`` (the default — the DN97/GLN02 hierarchy, merging
+        the previous level's clusters at cost proportional to the cluster
+        nodes touched) or ``"from-scratch"`` (re-cluster the whole spanner,
+        O(n + m) per transition).  Both preserve the never-underestimate
+        invariant, so the stretch guarantee is identical.
+    verify_cluster_transitions:
+        Cross-check every incremental merge against a naive recomputation
+        (slow; used by the property tests).
 
     Returns a :class:`Spanner` whose base graph is the metric's complete graph
     (so lightness and stretch are measured against the metric itself, as in
     Theorem 6).  Metadata records the base-spanner size, the number of light
-    edges, the number of buckets, cluster-graph rebuilds and approximate
-    distance queries — the quantities behind the runtime discussion of
-    Section 5.1.
+    edges, the number of buckets, cluster-graph rebuilds/merges, the settle
+    counts of the cluster maintenance and of the approximate distance
+    queries — the quantities behind the runtime discussion of Section 5.1.
     """
+    if cluster_mode not in ("incremental", "from-scratch"):
+        raise ValueError(
+            f"unknown cluster_mode {cluster_mode!r}; "
+            "expected 'incremental' or 'from-scratch'"
+        )
     n = metric.size
     params = derive_parameters(
         epsilon,
@@ -177,48 +198,91 @@ def approximate_greedy_spanner(
     for u, v, weight in light_edges:
         output.add_edge(u, v, weight)
 
-    # Step 3: bucketed greedy simulation on the heavy edges.
+    # Step 3: bucketed greedy simulation on the heavy edges.  The loop runs
+    # on integer ids end-to-end: the growing spanner lives in the cluster
+    # graph's persistent IndexedGraph, queries and edge notifications go
+    # through the id-based fast paths, and the vertex objects are only
+    # touched to record accepted edges in the output graph.
     simulation_stretch = params.simulation_stretch
     buckets = _partition_into_buckets(heavy_edges, light_threshold, params.bucket_ratio)
 
     cluster_graph: Optional[ClusterGraph] = None
-    total_queries = 0
-    rebuilds = 0
     added = 0
+    transitions = 0
+    initial_settles = 0
+    id_of = None
 
     for bucket_low, bucket_edges in buckets:
         radius = params.cluster_radius_factor * bucket_low
         if cluster_graph is None:
-            cluster_graph = ClusterGraph(output, radius)
+            cluster_graph = ClusterGraph(
+                output,
+                radius,
+                mode=cluster_mode,
+                verify_transitions=verify_cluster_transitions,
+            )
+            id_of = cluster_graph.index.id_of
+            initial_settles = cluster_graph.clustering_settles
         else:
-            cluster_graph.rebuild(radius)
-        rebuilds += 1
+            cluster_graph.transition(radius)
+            transitions += 1
+        approximate_distance = cluster_graph.approximate_distance_ids
+        notify = cluster_graph.notify_edge_added_ids
+        add_to_output = output.add_edge
         for u, v, weight in bucket_edges:
+            uid, vid = id_of(u), id_of(v)
             cutoff = simulation_stretch * weight
-            if cluster_graph.approximate_distance(u, v, cutoff) > cutoff:
-                output.add_edge(u, v, weight)
-                cluster_graph.notify_edge_added(u, v, weight)
+            if approximate_distance(uid, vid, cutoff) > cutoff:
+                add_to_output(u, v, weight)
+                notify(uid, vid, weight)
                 added += 1
-        total_queries += cluster_graph.query_count
-        cluster_graph.query_count = 0
+
+    metadata = {
+        "base_edges": float(base_graph.number_of_edges),
+        "base_max_degree": float(base_graph.max_degree()),
+        "light_edges": float(len(light_edges)),
+        "heavy_edges": float(len(heavy_edges)),
+        "buckets": float(len(buckets)),
+        "base_stretch": params.base_stretch,
+        "simulation_stretch": params.simulation_stretch,
+        "edges_added_by_simulation": float(added),
+        "cluster_transitions": float(transitions),
+    }
+    if cluster_graph is not None:
+        metadata.update(
+            {
+                "cluster_rebuilds": float(cluster_graph.rebuild_count),
+                "cluster_merges": float(cluster_graph.merge_count),
+                "cluster_skipped_transitions": float(
+                    cluster_graph.skipped_transitions + cluster_graph.skipped_rebuilds
+                ),
+                "cluster_initial_settles": float(initial_settles),
+                "cluster_transition_settles": float(
+                    cluster_graph.clustering_settles - initial_settles
+                ),
+                "cluster_query_settles": float(cluster_graph.query_settles),
+                "approximate_queries": float(cluster_graph.query_count),
+            }
+        )
+    else:
+        metadata.update(
+            {
+                "cluster_rebuilds": 0.0,
+                "cluster_merges": 0.0,
+                "cluster_skipped_transitions": 0.0,
+                "cluster_initial_settles": 0.0,
+                "cluster_transition_settles": 0.0,
+                "cluster_query_settles": 0.0,
+                "approximate_queries": 0.0,
+            }
+        )
 
     return Spanner(
         base=complete,
         subgraph=output,
         stretch=params.t,
         algorithm="approximate-greedy",
-        metadata={
-            "base_edges": float(base_graph.number_of_edges),
-            "base_max_degree": float(base_graph.max_degree()),
-            "light_edges": float(len(light_edges)),
-            "heavy_edges": float(len(heavy_edges)),
-            "buckets": float(len(buckets)),
-            "cluster_rebuilds": float(rebuilds),
-            "approximate_queries": float(total_queries),
-            "edges_added_by_simulation": float(added),
-            "base_stretch": params.base_stretch,
-            "simulation_stretch": params.simulation_stretch,
-        },
+        metadata=metadata,
     )
 
 

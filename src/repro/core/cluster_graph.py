@@ -5,8 +5,8 @@ Section 5.1 of the paper sketches Algorithm ``Approximate-Greedy``
 answering each greedy distance query exactly on the growing spanner, the
 algorithm maintains "a much simpler and coarser *cluster graph* that
 approximates the original distances, on which the distance queries are
-performed", and the cluster graph is rebuilt whenever the algorithm moves to
-the next bucket of edge weights.
+performed", and the cluster graph is refreshed whenever the algorithm moves
+to the next bucket of edge weights.
 
 The :class:`ClusterGraph` here implements that structure with one invariant
 that the correctness of our simulation rests on:
@@ -29,6 +29,41 @@ centre within spanner distance ``r``, and the cluster graph has one vertex per
 centre with an edge between two centres whenever some spanner edge joins
 their clusters; the cluster edge weight is a *path upper bound*
 ``δ(c₁, x) + w(x, y) + δ(y, c₂)``.
+
+When the radius scales up at a bucket transition, the clusters follow the
+DN97/GLN02 *hierarchy*: new centres are chosen greedily from the previous
+level's centres, new clusters are unions of old clusters, and the centre
+selection and absorption run on the previous **cluster graph** (one node per
+old centre) with radius budget ``r_new − r_old``.  Offsets compose
+additively (``offset_new(v) = offset_old(v) + δ_cluster(old centre, new
+centre)``, an upper bound by the triangle inequality, and at most ``r_old +
+(r_new − r_old) = r_new``), and the new inter-cluster bounds are a *remap*
+of the old ones: every vertex of an old cluster shifts by the same delta, so
+
+    ``bound_new(C, C′) = min over old pairs (c, c′) of
+    Δ(c) + Δ(c′) + bound_old(c, c′)``
+
+— equal to a full rescan of the spanner edges, without performing one
+(``docs/PERFORMANCE.md`` spells out the argument; ``verify_transitions``
+re-derives it numerically after every merge).
+
+Two *engines* compute that hierarchy (the ``mode`` parameter):
+
+``"incremental"``
+    Maintain the level in place: one batched multi-source sweep over the
+    previous cluster graph plus the pairwise bound remap — heap work
+    proportional to the cluster nodes actually touched, not ``O(n + m)``.
+
+``"from-scratch"``
+    Recompute the current level from nothing at every transition: replay the
+    whole level history (initial clustering, per-bucket edge patches, merge
+    per level) from the chronological edge log, with one ball search per
+    centre — ``O(n + m)`` per transition and growing with the level count.
+
+Both engines produce the *identical* cluster structure (same centres,
+assignments, offsets and bounds — the property tests assert it), so every
+query answers the same and the simulated greedy makes the same decisions;
+they differ only in cost, which is what ``repro bench-oracles`` measures.
 """
 
 from __future__ import annotations
@@ -37,8 +72,65 @@ import math
 from collections.abc import Iterable
 
 from repro.graph.indexed_graph import IndexedGraph
-from repro.graph.shortest_paths import indexed_ball, indexed_dijkstra_with_cutoff
+from repro.graph.shortest_paths import (
+    indexed_ball,
+    indexed_dijkstra_with_cutoff,
+    indexed_greedy_clustering,
+)
 from repro.graph.weighted_graph import Vertex, WeightedGraph
+
+_MODES = ("from-scratch", "incremental")
+
+
+def _patch_bound(
+    bounds: dict[tuple[int, int], float], cu: int, cv: int, bound: float
+) -> bool:
+    """Min-update the inter-cluster bound of the (unordered) centre pair.
+
+    Returns True when the bound was inserted or improved.  Every place a
+    cluster edge is derived — initial scan, notify patch, merge remap,
+    replay, verification rescan — goes through this one helper, which is
+    what keeps the incremental and from-scratch engines numerically
+    identical.
+    """
+    key = (cu, cv) if cu <= cv else (cv, cu)
+    existing = bounds.get(key)
+    if existing is None or bound < existing:
+        bounds[key] = bound
+        return True
+    return False
+
+
+def _cluster_by_balls(
+    graph: IndexedGraph, radius: float
+) -> tuple[list[int], list[int], list[float], int]:
+    """The naive clustering kernel: one :func:`indexed_ball` per centre.
+
+    Scans ids in order, promotes uncovered ids to centres and absorbs their
+    balls, keeping the closest centre per vertex (earliest wins ties).  This
+    is the seed implementation's construction, kept as the from-scratch
+    replay engine and as the reference the batched
+    :func:`~repro.graph.shortest_paths.indexed_greedy_clustering` sweep is
+    verified against — the two are exactly equivalent (same centres,
+    assignments and float offsets), but per-centre balls settle every vertex
+    once per covering ball.
+    """
+    n = graph.number_of_vertices
+    centres: list[int] = []
+    centre: list[int] = [-1] * n
+    offsets: list[float] = [0.0] * n
+    settles = 0
+    for vid in range(n):
+        if centre[vid] >= 0:
+            continue
+        centres.append(vid)
+        ball = indexed_ball(graph, vid, radius)
+        settles += len(ball)
+        for member, distance in ball.items():
+            if centre[member] < 0 or distance < offsets[member]:
+                centre[member] = vid
+                offsets[member] = distance
+    return centres, centre, offsets, settles
 
 
 class ClusterGraph:
@@ -54,84 +146,337 @@ class ClusterGraph:
     radius:
         The cluster radius ``r``: every vertex is within spanner distance
         ``r`` of its cluster centre.
+    mode:
+        Which engine :meth:`transition` uses when the radius grows:
+        ``"incremental"`` merges the previous level's clusters in place,
+        ``"from-scratch"`` replays the whole level history from the edge
+        log.  Both compute the identical hierarchy (see the module
+        docstring); they differ only in cost.
+    verify_transitions:
+        When True, every incremental merge is cross-checked against a naive
+        recomputation (per-centre balls on the old cluster graph, full
+        spanner-edge rescan for the bounds) and a mismatch raises — the
+        property tests drive random workloads through this.
+
+    The spanner is mirrored into one persistent flat-array
+    :class:`IndexedGraph` (:attr:`index`) that grows via
+    :meth:`notify_edge_added` and is *never* re-snapshotted between bucket
+    transitions; all hot-path state (assignments, offsets) lives in flat
+    lists indexed by its dense vertex ids.
     """
 
-    def __init__(self, spanner: WeightedGraph, radius: float) -> None:
+    def __init__(
+        self,
+        spanner: WeightedGraph,
+        radius: float,
+        *,
+        mode: str = "from-scratch",
+        verify_transitions: bool = False,
+    ) -> None:
+        if mode not in _MODES:
+            raise ValueError(f"unknown cluster mode {mode!r}; expected one of {_MODES}")
         self.spanner = spanner
         self.radius = float(radius)
-        self.centre_of: dict[Vertex, Vertex] = {}
-        self.offset_of: dict[Vertex, float] = {}
-        self.centres: list[Vertex] = []
-        self.graph = WeightedGraph()
+        self.mode = mode
+        self.verify_transitions = verify_transitions
+        self.index = IndexedGraph.from_weighted_graph(spanner)
+
+        self._centres: list[int] = []
+        self._centre_vid: list[int] = []
+        self._offset: list[float] = []
+        self._cluster_bounds: dict[tuple[int, int], float] = {}
         self._cluster_index = IndexedGraph()
+        self._dirty = False
+        # Hierarchy history, enough to recompute the current level from
+        # nothing: the radii of every level, the chronological spanner edge
+        # log, and the log length at the moment each level was entered.
+        self._levels: list[float] = []
+        self._edge_log: list[tuple[int, int, float]] = []
+        self._level_edge_counts: list[int] = []
+
         self.rebuild_count = 0
+        self.merge_count = 0
+        self.skipped_rebuilds = 0
+        self.skipped_transitions = 0
+        self.clustering_settles = 0
         self.query_count = 0
+        self.query_settles = 0
+
+        self._centre_of_view: dict[Vertex, Vertex] | None = None
+        self._offset_of_view: dict[Vertex, float] | None = None
+        self._centres_view: list[Vertex] | None = None
+        self._graph_view: WeightedGraph | None = None
+
         self._build()
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     def _build(self) -> None:
-        """(Re)build the clusters and the cluster graph from the current spanner.
+        """Cluster all vertices of the current spanner, starting a fresh hierarchy.
 
-        The construction runs on an indexed snapshot of the spanner: one ball
-        search per cluster centre dominates the rebuild cost, so the searches
-        run over flat integer adjacency arrays (see ``docs/PERFORMANCE.md``).
+        One batched multi-source sweep (:func:`indexed_greedy_clustering`)
+        selects the centres and assigns every vertex, then a single pass over
+        the spanner edges derives the inter-cluster bounds — O(n + m) total.
+        The level history is reset: this build becomes level 0.
         """
-        self.centre_of.clear()
-        self.offset_of.clear()
-        self.centres = []
-        self.graph = WeightedGraph()
         self.rebuild_count += 1
+        self._dirty = False
+        self._invalidate_views()
 
-        index = IndexedGraph.from_weighted_graph(self.spanner)
-        n = index.number_of_vertices
-        centre_id_of: list[int] = [-1] * n
-        offset_id_of: list[float] = [0.0] * n
+        index = self.index
+        if self.spanner.number_of_edges != index.number_of_edges:
+            # The spanner was mutated behind our back (not through
+            # notify_edge_added): fall back to a fresh snapshot.
+            index = self.index = IndexedGraph.from_weighted_graph(self.spanner)
 
-        # Greedy clustering: scan vertices (in id order, which is exactly the
-        # spanner's vertex order); any vertex not yet covered becomes a centre
-        # and absorbs everything within spanner distance `radius`.
-        for vid in range(n):
-            if centre_id_of[vid] >= 0:
-                continue
-            vertex = index.vertex_of(vid)
-            self.centres.append(vertex)
-            self.graph.add_vertex(vertex)
-            reachable = indexed_ball(index, vid, self.radius)
-            for member, offset in reachable.items():
-                # Keep the closest centre for each member.
-                if centre_id_of[member] < 0 or offset < offset_id_of[member]:
-                    centre_id_of[member] = vid
-                    offset_id_of[member] = offset
-        # Vertices isolated in the spanner become their own centres too
-        # (handled above since Dijkstra from them reaches themselves at 0).
+        centres, centre_vid, offsets, settles = indexed_greedy_clustering(index, self.radius)
+        self.clustering_settles += settles
+        self._centres = centres
+        self._centre_vid = centre_vid
+        self._offset = offsets
 
-        for vid in range(n):
-            self.centre_of[index.vertex_of(vid)] = index.vertex_of(centre_id_of[vid])
-            self.offset_of[index.vertex_of(vid)] = offset_id_of[vid]
-
-        # Cluster edges: for each spanner edge joining two clusters, keep the
-        # smallest path-upper-bound weight per centre pair.
         bounds: dict[tuple[int, int], float] = {}
         for uid, vid, weight in index.edges():
-            cu, cv = centre_id_of[uid], centre_id_of[vid]
-            if cu == cv:
-                continue
-            bound = offset_id_of[uid] + weight + offset_id_of[vid]
-            key = (cu, cv) if cu <= cv else (cv, cu)
-            existing = bounds.get(key)
-            if existing is None or bound < existing:
-                bounds[key] = bound
-        for (cu, cv), bound in bounds.items():
-            self.graph.add_edge(index.vertex_of(cu), index.vertex_of(cv), bound)
-        self._cluster_index = IndexedGraph.from_weighted_graph(self.graph)
+            cu, cv = centre_vid[uid], centre_vid[vid]
+            if cu != cv:
+                _patch_bound(bounds, cu, cv, offsets[uid] + weight + offsets[vid])
+        self._cluster_bounds = bounds
+        self._rebuild_cluster_index()
+
+        self._edge_log = list(index.edges())
+        self._levels = [self.radius]
+        self._level_edge_counts = [len(self._edge_log)]
+
+    def _rebuild_cluster_index(self) -> None:
+        """Materialise ``_cluster_bounds`` into the flat search structure.
+
+        Cluster nodes are the centres' *spanner vertex ids*, interned in
+        centre-creation order — so cluster node ``i`` is ``self._centres[i]``,
+        the property the incremental merge relies on.
+        """
+        cluster_index = IndexedGraph(vertices=self._centres)
+        for (cu, cv), bound in self._cluster_bounds.items():
+            # Bounds are keyed by unique pairs, so unchecked appends are safe.
+            cluster_index.append_edge_unchecked(cu, cv, bound)
+        self._cluster_index = cluster_index
 
     def rebuild(self, radius: float | None = None) -> None:
-        """Rebuild the clusters, optionally at a new radius (bucket transition)."""
-        if radius is not None:
-            self.radius = float(radius)
+        """Re-cluster from scratch, optionally at a new radius.
+
+        A rebuild at the *same* radius with no edge added since the last
+        build is skipped outright (the result would be identical); the skip
+        is counted in :attr:`skipped_rebuilds`.  Edges added to the spanner
+        *behind our back* (not through :meth:`notify_edge_added`) defeat the
+        dirty flag, so the skip additionally requires the persistent index
+        to still agree with the spanner's edge count.
+        """
+        value = self.radius if radius is None else float(radius)
+        if (
+            not self._dirty
+            and value == self.radius
+            and self.spanner.number_of_edges == self.index.number_of_edges
+        ):
+            self.skipped_rebuilds += 1
+            return
+        self.radius = value
         self._build()
+
+    def transition(self, radius: float) -> None:
+        """Move to a new (larger) radius — the per-bucket refresh entry point.
+
+        Appends a level to the hierarchy and computes it with the configured
+        engine: an in-place merge (``"incremental"``) or a full replay of
+        the level history (``"from-scratch"``).  A transition to the
+        *current* radius is a no-op — cluster edges are already patched in
+        place by :meth:`notify_edge_added` — and a shrinking radius (not
+        produced by the bucket loop, whose radii grow monotonically) falls
+        back to :meth:`rebuild`, since a hierarchy can only coarsen.
+        """
+        value = float(radius)
+        if value < self.radius:
+            self.rebuild(value)
+            return
+        if value == self.radius:
+            self.skipped_transitions += 1
+            return
+        self._levels.append(value)
+        self._level_edge_counts.append(len(self._edge_log))
+        if self.mode == "incremental":
+            self._merge(value)
+        else:
+            self._replay()
+
+    def _replay(self) -> None:
+        """Recompute the current level from nothing (the from-scratch engine).
+
+        Replays the recorded history: rebuild the level-0 spanner prefix
+        into a fresh graph, cluster it with per-centre balls, then for every
+        later level apply that bucket's edge patches and redo its merge —
+        ``O(n + m)`` plus all previous merges, at every transition.  By
+        construction the result is the *same* hierarchy state the
+        incremental engine maintains in place, which is what makes the two
+        modes' spanner outputs identical.
+        """
+        self.rebuild_count += 1
+        self._dirty = False
+        self._invalidate_views()
+
+        index = self.index
+        n = index.number_of_vertices
+        log = self._edge_log
+        counts = self._level_edge_counts
+        levels = self._levels
+
+        graph = IndexedGraph(vertices=(index.vertex_of(vid) for vid in range(n)))
+        for uid, vid, weight in log[: counts[0]]:
+            graph.append_edge_unchecked_ids(uid, vid, weight)
+
+        centres, centre_vid, offsets, settles = _cluster_by_balls(graph, levels[0])
+        bounds: dict[tuple[int, int], float] = {}
+        for uid, vid, weight in graph.edges():
+            cu, cv = centre_vid[uid], centre_vid[vid]
+            if cu != cv:
+                _patch_bound(bounds, cu, cv, offsets[uid] + weight + offsets[vid])
+
+        for level in range(1, len(levels)):
+            # Patch in the edges added while the previous level was active.
+            for uid, vid, weight in log[counts[level - 1] : counts[level]]:
+                graph.append_edge_unchecked_ids(uid, vid, weight)
+                cu, cv = centre_vid[uid], centre_vid[vid]
+                if cu != cv:
+                    _patch_bound(bounds, cu, cv, offsets[uid] + weight + offsets[vid])
+
+            # Redo this level's merge on the previous level's cluster graph.
+            cluster_index = IndexedGraph(vertices=centres)
+            for (cu, cv), bound in bounds.items():
+                cluster_index.append_edge_unchecked(cu, cv, bound)
+            budget = levels[level] - levels[level - 1]
+            super_cvids, super_of, deltas, merge_settles = _cluster_by_balls(
+                cluster_index, budget
+            )
+            settles += merge_settles
+
+            super_spanner = [centres[super_of[cvid]] for cvid in range(len(centres))]
+            cvid_of = {centre: cvid for cvid, centre in enumerate(centres)}
+            for v in range(n):
+                cvid = cvid_of[centre_vid[v]]
+                delta = deltas[cvid]
+                if delta:
+                    offsets[v] += delta
+                centre_vid[v] = super_spanner[cvid]
+
+            remapped: dict[tuple[int, int], float] = {}
+            for (cu, cv), bound in bounds.items():
+                iu, iv = cvid_of[cu], cvid_of[cv]
+                new_cu, new_cv = super_spanner[iu], super_spanner[iv]
+                if new_cu != new_cv:
+                    _patch_bound(remapped, new_cu, new_cv, deltas[iu] + deltas[iv] + bound)
+            centres = [centres[cvid] for cvid in super_cvids]
+            bounds = remapped
+
+        self.clustering_settles += settles
+        self._centres = centres
+        self._centre_vid = centre_vid
+        self._offset = offsets
+        self._cluster_bounds = bounds
+        self._rebuild_cluster_index()
+        self.radius = levels[-1]
+
+    def _merge(self, new_radius: float) -> None:
+        """Incrementally coarsen the hierarchy to ``new_radius``.
+
+        New centres are selected greedily *among the previous centres* by a
+        multi-source sweep over the previous cluster graph with radius
+        budget ``new_radius − radius``; every vertex's offset grows by its
+        old centre's merge distance, and the inter-cluster bounds are
+        remapped pairwise (see the module docstring for why the remap equals
+        a full spanner-edge rescan).
+        """
+        budget = new_radius - self.radius
+        previous_index = self._cluster_index
+        previous_centres = self._centres
+        k = len(previous_centres)
+
+        super_cvids, super_of, deltas, settles = indexed_greedy_clustering(
+            previous_index, budget
+        )
+        self.merge_count += 1
+        self.clustering_settles += settles
+        self._invalidate_views()
+
+        # Spanner vertex id of the new super-centre of each old cluster node.
+        super_spanner = [previous_centres[super_of[cvid]] for cvid in range(k)]
+        cvid_of = {centre: cvid for cvid, centre in enumerate(previous_centres)}
+
+        centre_vid = self._centre_vid
+        offset = self._offset
+        for v in range(len(centre_vid)):
+            cvid = cvid_of[centre_vid[v]]
+            delta = deltas[cvid]
+            if delta:
+                offset[v] += delta
+            centre_vid[v] = super_spanner[cvid]
+
+        bounds: dict[tuple[int, int], float] = {}
+        for (cu, cv), bound in self._cluster_bounds.items():
+            iu, iv = cvid_of[cu], cvid_of[cv]
+            new_cu, new_cv = super_spanner[iu], super_spanner[iv]
+            # Old clusters that merged make the edge internal — dropped.
+            if new_cu != new_cv:
+                _patch_bound(bounds, new_cu, new_cv, deltas[iu] + deltas[iv] + bound)
+
+        self._centres = [previous_centres[cvid] for cvid in super_cvids]
+        self._cluster_bounds = bounds
+        self._rebuild_cluster_index()
+        self.radius = new_radius
+        self._dirty = False
+
+        if self.verify_transitions:
+            self._verify_merge(previous_index, budget, super_cvids, super_of, deltas)
+
+    def _verify_merge(
+        self,
+        previous_index: IndexedGraph,
+        budget: float,
+        super_cvids: list[int],
+        super_of: list[int],
+        deltas: list[float],
+    ) -> None:
+        """Cross-check the incremental merge against naive recomputations.
+
+        1. The batched centre-selection sweep must match the sequential
+           per-centre-ball construction *exactly* (same centres, same
+           assignments, same float offsets).
+        2. The remapped inter-cluster bounds must match a full rescan of the
+           spanner edges under the new assignments (up to float association
+           order — the remap adds the deltas first, the rescan folds them
+           into the offsets).
+        """
+        ref_centres, ref_super, ref_delta, _ = _cluster_by_balls(previous_index, budget)
+        if ref_centres != super_cvids or ref_super != super_of or ref_delta != deltas:
+            raise RuntimeError(
+                "incremental merge diverged from the per-centre-ball reference"
+            )
+
+        centre_vid = self._centre_vid
+        offset = self._offset
+        rescan: dict[tuple[int, int], float] = {}
+        for uid, vid, weight in self.index.edges():
+            cu, cv = centre_vid[uid], centre_vid[vid]
+            if cu != cv:
+                _patch_bound(rescan, cu, cv, offset[uid] + weight + offset[vid])
+        if set(rescan) != set(self._cluster_bounds):
+            raise RuntimeError(
+                "remapped cluster edges disagree with the spanner-edge rescan"
+            )
+        for key, bound in rescan.items():
+            remapped = self._cluster_bounds[key]
+            if abs(remapped - bound) > 1e-9 * max(1.0, abs(bound)):
+                raise RuntimeError(
+                    f"remapped bound {remapped} diverged from rescan bound {bound} "
+                    f"for cluster pair {key}"
+                )
 
     # ------------------------------------------------------------------
     # Queries
@@ -139,7 +484,33 @@ class ClusterGraph:
     @property
     def number_of_clusters(self) -> int:
         """The number of clusters (vertices of the cluster graph)."""
-        return len(self.centres)
+        return len(self._centres)
+
+    def approximate_distance_ids(self, uid: int, vid: int, cutoff: float) -> float:
+        """Id-based :meth:`approximate_distance` — the bucket loop's hot query."""
+        self.query_count += 1
+        if uid == vid:
+            return 0.0
+        offset = self._offset
+        centre_vid = self._centre_vid
+        cu, cv = centre_vid[uid], centre_vid[vid]
+        slack = offset[uid] + offset[vid]
+        if cu == cv:
+            return slack if slack <= cutoff else math.inf
+        budget = cutoff - slack
+        if budget < 0:
+            return math.inf
+        cluster_index = self._cluster_index
+        distance, settled = indexed_dijkstra_with_cutoff(
+            cluster_index,
+            cluster_index.id_of(cu),
+            cluster_index.id_of(cv),
+            budget,
+        )
+        self.query_settles += len(settled)
+        if distance == math.inf:
+            return math.inf
+        return distance + slack
 
     def approximate_distance(self, u: Vertex, v: Vertex, cutoff: float) -> float:
         """Return an upper bound on ``δ_H(u, v)``, or ``inf`` if it exceeds ``cutoff``.
@@ -149,45 +520,43 @@ class ClusterGraph:
         triangle inequality and the path-upper-bound edge weights this never
         underestimates the true spanner distance.
         """
-        self.query_count += 1
-        if u == v:
-            return 0.0
-        cu, cv = self.centre_of[u], self.centre_of[v]
-        slack = self.offset_of[u] + self.offset_of[v]
-        if cu == cv:
-            value = self.offset_of[u] + self.offset_of[v]
-            return value if value <= cutoff else math.inf
-
-        budget = cutoff - slack
-        if budget < 0:
-            return math.inf
-        distance, _ = indexed_dijkstra_with_cutoff(
-            self._cluster_index,
-            self._cluster_index.id_of(cu),
-            self._cluster_index.id_of(cv),
-            budget,
+        return self.approximate_distance_ids(
+            self.index.id_of(u), self.index.id_of(v), cutoff
         )
-        if distance == math.inf:
-            return math.inf
-        return distance + slack
 
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
+    def notify_edge_added_ids(self, uid: int, vid: int, weight: float) -> None:
+        """Id-based :meth:`notify_edge_added` for endpoints already interned."""
+        if self.index.has_edge_ids(uid, vid):
+            # Weight overwrite: honoured for queries, but not logged — the
+            # greedy loop adds every edge at most once, so this path only
+            # serves ad-hoc callers.
+            self.index.add_edge_ids(uid, vid, weight)
+        else:
+            self.index.append_edge_unchecked_ids(uid, vid, weight)
+            self._edge_log.append((uid, vid, weight))
+        self._dirty = True
+        centre_vid = self._centre_vid
+        cu, cv = centre_vid[uid], centre_vid[vid]
+        if cu == cv:
+            return
+        offset = self._offset
+        bound = offset[uid] + weight + offset[vid]
+        if _patch_bound(self._cluster_bounds, cu, cv, bound):
+            self._cluster_index.add_edge(cu, cv, bound)
+            self._graph_view = None
+
     def notify_edge_added(self, u: Vertex, v: Vertex, weight: float) -> None:
         """Incorporate a newly added spanner edge into the cluster graph.
 
         The clusters themselves are left untouched (they are refreshed on the
-        next bucket transition); only the inter-cluster edge is updated, which
+        next bucket transition); the edge is appended to the persistent
+        spanner index and the inter-cluster bound is patched in place, which
         keeps the never-underestimate invariant.
         """
-        cu, cv = self.centre_of[u], self.centre_of[v]
-        if cu == cv:
-            return
-        bound = self.offset_of[u] + weight + self.offset_of[v]
-        if not self.graph.has_edge(cu, cv) or bound < self.graph.weight(cu, cv):
-            self.graph.add_edge(cu, cv, bound)
-            self._cluster_index.add_edge(cu, cv, bound)
+        self.notify_edge_added_ids(self.index.id_of(u), self.index.id_of(v), weight)
 
     def check_never_underestimates(
         self, pairs: Iterable[tuple[Vertex, Vertex]], *, tolerance: float = 1e-9
@@ -202,8 +571,58 @@ class ClusterGraph:
                 return False
         return True
 
+    # ------------------------------------------------------------------
+    # Compatibility views (cold paths: tests, demos, reporting)
+    # ------------------------------------------------------------------
+    def _invalidate_views(self) -> None:
+        self._centre_of_view = None
+        self._offset_of_view = None
+        self._centres_view = None
+        self._graph_view = None
+
+    @property
+    def centre_of(self) -> dict[Vertex, Vertex]:
+        """Vertex-object view of the assignment array (built lazily)."""
+        if self._centre_of_view is None:
+            vertex_of = self.index.vertex_of
+            self._centre_of_view = {
+                vertex_of(vid): vertex_of(centre)
+                for vid, centre in enumerate(self._centre_vid)
+            }
+        return self._centre_of_view
+
+    @property
+    def offset_of(self) -> dict[Vertex, float]:
+        """Vertex-object view of the offset array (built lazily)."""
+        if self._offset_of_view is None:
+            vertex_of = self.index.vertex_of
+            self._offset_of_view = {
+                vertex_of(vid): offset for vid, offset in enumerate(self._offset)
+            }
+        return self._offset_of_view
+
+    @property
+    def centres(self) -> list[Vertex]:
+        """The cluster centres as vertex objects, in creation order."""
+        if self._centres_view is None:
+            vertex_of = self.index.vertex_of
+            self._centres_view = [vertex_of(vid) for vid in self._centres]
+        return self._centres_view
+
+    @property
+    def graph(self) -> WeightedGraph:
+        """The cluster graph as a :class:`WeightedGraph` (built lazily)."""
+        if self._graph_view is None:
+            vertex_of = self.index.vertex_of
+            graph = WeightedGraph(vertices=(vertex_of(vid) for vid in self._centres))
+            for (cu, cv), bound in self._cluster_bounds.items():
+                graph.add_edge(vertex_of(cu), vertex_of(cv), bound)
+            self._graph_view = graph
+        return self._graph_view
+
     def __repr__(self) -> str:
         return (
             f"ClusterGraph(clusters={self.number_of_clusters}, "
-            f"radius={self.radius:.4g}, edges={self.graph.number_of_edges})"
+            f"radius={self.radius:.4g}, edges={len(self._cluster_bounds)}, "
+            f"mode={self.mode!r})"
         )

@@ -1,20 +1,32 @@
 """Oracle benchmark matrix: the perf trajectory behind ``repro bench-oracles``.
 
-Runs the greedy spanner over one workload once per distance-oracle strategy
-(:mod:`repro.core.distance_oracle`), recording wall-clock time, the
-deterministic operation counts (``dijkstra_settles`` / ``distance_queries``)
-and the tracemalloc peak-memory high-water mark of each construction, and
-cross-checks that every strategy produced the *identical* spanner edge
-set — the strategies are interchangeable by construction, so a mismatch is a
-bug, not a measurement.  Euclidean workloads are built as lazy
+Runs one workload once per *strategy*, recording wall-clock time, the
+deterministic operation counts and the tracemalloc peak-memory high-water
+mark of each construction.  Strategies come in two families:
+
+* the exact greedy's distance-oracle strategies
+  (:mod:`repro.core.distance_oracle` — ``bounded`` / ``bidirectional`` /
+  ``cached``), which are interchangeable by construction, so the bench
+  cross-checks that they produced the *identical* spanner edge set;
+* the Approximate-Greedy rows (``approx-greedy`` = the incremental
+  cluster-graph engine, ``approx-greedy-scratch`` = the same hierarchy
+  recomputed from scratch at every bucket transition), whose spanner differs
+  from the exact greedy's by design but must be *identical between the two
+  engines* — that second cross-check is what certifies the incremental
+  engine.
+
+Euclidean workloads are built as lazy
 :class:`~repro.metric.closure.MetricClosure` views, so the bench scales to
-``n`` in the thousands without materializing the Θ(n²) complete graph.
+``n`` in the tens of thousands (approx-greedy rows) without materializing
+the Θ(n²) complete graph.
 
 Results are merged into a ``BENCH_oracles.json`` file keyed by workload
 signature, so repeated runs at different sizes accumulate a perf trajectory
 that ``scripts/check_bench_regression.py`` can diff against the committed
-baseline in ``benchmarks/BENCH_oracles.json``.  The file format and how to
-read it are documented in ``docs/PERFORMANCE.md``.
+baseline in ``benchmarks/BENCH_oracles.json``.  :data:`BENCH_PRESETS` names
+the matrix rows the baseline is built from (regenerate a single row with
+``repro bench-oracles --workloads <key>``).  The file format and how to read
+it are documented in ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
@@ -24,16 +36,25 @@ import time
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.core.approximate_greedy import approximate_greedy_spanner
 from repro.core.greedy import greedy_spanner
 from repro.experiments.harness import traced_peak_memory
 from repro.graph.generators import random_connected_graph
 from repro.graph.weighted_graph import WeightedGraph
+from repro.metric.base import FiniteMetric
 from repro.metric.closure import MetricClosure
-from repro.metric.generators import uniform_points
+from repro.metric.euclidean import EuclideanMetric
+from repro.metric.generators import clustered_points, grid_points, uniform_points
 
 SCHEMA_VERSION = 1
 
 DEFAULT_STRATEGIES = ("bounded", "bidirectional", "cached")
+
+#: Approximate-Greedy bench strategies and the cluster engine each one uses.
+APPROX_STRATEGY_MODES = {
+    "approx-greedy": "incremental",
+    "approx-greedy-scratch": "from-scratch",
+}
 
 #: Metadata counters copied verbatim into each strategy record when present.
 _COUNTER_KEYS = (
@@ -44,10 +65,32 @@ _COUNTER_KEYS = (
     "cache_misses",
     "cached_bounds",
     "peak_cached_bounds",
+    # Approximate-Greedy rows:
+    "approximate_queries",
+    "buckets",
+    "base_edges",
+    "light_edges",
+    "heavy_edges",
+    "edges_added_by_simulation",
+    "cluster_rebuilds",
+    "cluster_merges",
+    "cluster_transitions",
+    "cluster_skipped_transitions",
+    "cluster_initial_settles",
+    "cluster_transition_settles",
+    "cluster_query_settles",
 )
 
 #: The deterministic operation counts the regression checker compares.
-OPERATION_COUNT_KEYS = ("dijkstra_settles", "distance_queries")
+OPERATION_COUNT_KEYS = (
+    "dijkstra_settles",
+    "distance_queries",
+    "approximate_queries",
+    "cluster_merges",
+    "cluster_initial_settles",
+    "cluster_transition_settles",
+    "cluster_query_settles",
+)
 
 
 def workload_key(workload: dict[str, object]) -> str:
@@ -58,10 +101,20 @@ def workload_key(workload: dict[str, object]) -> str:
     e.g. ``stretch=2`` and ``stretch=2.0`` map to the same key — the key is
     what the regression checker joins baseline and fresh runs on.
     """
-    if workload["kind"] == "uniform-euclidean":
+    kind = workload["kind"]
+    if kind == "uniform-euclidean":
         return "uniform-euclidean-n{}-d{}-seed{}-t{}".format(
             int(workload["n"]), int(workload["dim"]), int(workload["seed"]),
             float(workload["stretch"]),
+        )
+    if kind == "clustered-euclidean":
+        return "clustered-euclidean-n{}-d{}-c{}-seed{}-t{}".format(
+            int(workload["n"]), int(workload["dim"]), int(workload["clusters"]),
+            int(workload["seed"]), float(workload["stretch"]),
+        )
+    if kind == "grid-euclidean":
+        return "grid-euclidean-s{}-d{}-t{}".format(
+            int(workload["side"]), int(workload["dim"]), float(workload["stretch"]),
         )
     return "erdos-renyi-n{}-p{}-seed{}-t{}".format(
         int(workload["n"]), float(workload["p"]), int(workload["seed"]),
@@ -69,13 +122,36 @@ def workload_key(workload: dict[str, object]) -> str:
     )
 
 
-def _build_graph(workload: dict[str, object]) -> WeightedGraph:
-    if workload["kind"] == "uniform-euclidean":
-        metric = uniform_points(int(workload["n"]), int(workload["dim"]), seed=int(workload["seed"]))
-        # Lazy complete-graph view: the greedy runs stream the sorted pairs,
-        # so the bench scales to n in the thousands without Θ(n²) memory.
-        return MetricClosure(metric)
-    return random_connected_graph(int(workload["n"]), float(workload["p"]), seed=int(workload["seed"]))
+def _build_instance(
+    workload: dict[str, object],
+) -> tuple[WeightedGraph, Optional[FiniteMetric]]:
+    """Instantiate a workload as ``(graph, metric)``; ``metric`` is ``None``
+    for graph workloads.
+
+    Metric workloads are returned as lazy complete-graph views
+    (:class:`MetricClosure`): the greedy runs stream the sorted pairs, so
+    the bench scales to large ``n`` without Θ(n²) memory.
+    """
+    kind = workload["kind"]
+    if kind == "uniform-euclidean":
+        metric = uniform_points(
+            int(workload["n"]), int(workload["dim"]), seed=int(workload["seed"])
+        )
+    elif kind == "clustered-euclidean":
+        metric = clustered_points(
+            int(workload["n"]),
+            int(workload["dim"]),
+            clusters=int(workload["clusters"]),
+            seed=int(workload["seed"]),
+        )
+    elif kind == "grid-euclidean":
+        metric = grid_points(int(workload["side"]), int(workload["dim"]))
+    else:
+        graph = random_connected_graph(
+            int(workload["n"]), float(workload["p"]), seed=int(workload["seed"])
+        )
+        return graph, None
+    return MetricClosure(metric), metric
 
 
 def euclidean_workload(n: int = 400, dim: int = 2, seed: int = 7, stretch: float = 2.0) -> dict[str, object]:
@@ -85,6 +161,30 @@ def euclidean_workload(n: int = 400, dim: int = 2, seed: int = 7, stretch: float
         "n": int(n),
         "dim": int(dim),
         "seed": int(seed),
+        "stretch": float(stretch),
+    }
+
+
+def clustered_workload(
+    n: int = 10000, dim: int = 2, clusters: int = 50, seed: int = 7, stretch: float = 1.5
+) -> dict[str, object]:
+    """A clustered-Gaussian bench workload (light spanners' home turf)."""
+    return {
+        "kind": "clustered-euclidean",
+        "n": int(n),
+        "dim": int(dim),
+        "clusters": int(clusters),
+        "seed": int(seed),
+        "stretch": float(stretch),
+    }
+
+
+def grid_workload(side: int = 100, dim: int = 2, stretch: float = 1.5) -> dict[str, object]:
+    """A regular-grid bench workload (``side**dim`` points, maximal weight ties)."""
+    return {
+        "kind": "grid-euclidean",
+        "side": int(side),
+        "dim": int(dim),
         "stretch": float(stretch),
     }
 
@@ -100,38 +200,128 @@ def graph_workload(n: int = 200, p: float = 0.1, seed: int = 7, stretch: float =
     }
 
 
+def _build_presets() -> dict[str, tuple[dict[str, object], tuple[str, ...]]]:
+    """The named rows of the bench matrix, keyed by workload signature.
+
+    Exact-oracle rows stop at n=2000 (the wall the exact path cannot cross);
+    the approx-greedy rows extend the matrix to n=10⁴–2·10⁴, where only the
+    near-linear cluster-graph path can go.  The n=2000 dual-engine row is
+    the committed evidence for the incremental engine: identical edge sets,
+    and a ≥5x drop in settles per bucket transition versus the from-scratch
+    replay.
+    """
+    rows: tuple[tuple[dict[str, object], tuple[str, ...]], ...] = (
+        (euclidean_workload(n=150), DEFAULT_STRATEGIES),
+        (euclidean_workload(n=400), DEFAULT_STRATEGIES),
+        (euclidean_workload(n=1000), ("cached",)),
+        (euclidean_workload(n=2000), ("cached",)),
+        (graph_workload(n=120, p=0.15), DEFAULT_STRATEGIES),
+        (
+            euclidean_workload(n=400, stretch=1.5),
+            ("cached", "approx-greedy", "approx-greedy-scratch"),
+        ),
+        (
+            euclidean_workload(n=2000, stretch=1.5),
+            ("approx-greedy", "approx-greedy-scratch"),
+        ),
+        (euclidean_workload(n=20000, stretch=1.5), ("approx-greedy",)),
+        (clustered_workload(n=10000, clusters=50, stretch=1.5), ("approx-greedy",)),
+        (grid_workload(side=100, stretch=1.5), ("approx-greedy",)),
+        (euclidean_workload(n=500, dim=8, stretch=1.9), ("approx-greedy",)),
+    )
+    return {workload_key(workload): (workload, strategies) for workload, strategies in rows}
+
+
+#: workload key -> (workload description, default strategies for the row).
+BENCH_PRESETS = _build_presets()
+
+
+def valid_strategy_names() -> set[str]:
+    """All strategy names ``run_oracle_matrix`` accepts."""
+    from repro.core.distance_oracle import ORACLE_FACTORIES
+
+    return set(ORACLE_FACTORIES) | set(APPROX_STRATEGY_MODES)
+
+
+def approx_epsilon(stretch: float) -> float:
+    """Map a bench stretch ``t`` to the Approximate-Greedy ``ε`` (``t = 1+ε``).
+
+    ``derive_parameters`` requires ``ε ∈ (0, 1)``; stretches of 2 and above
+    are clamped just below 1 so the approx rows stay runnable on the same
+    workloads the exact strategies use (the achieved target is recorded in
+    the strategy record as ``epsilon``).
+    """
+    return min(stretch - 1.0, 0.99)
+
+
+def _run_strategy(
+    name: str,
+    graph: WeightedGraph,
+    metric: Optional[FiniteMetric],
+    stretch: float,
+):
+    """Build one spanner with the named strategy; returns ``(spanner, extras)``."""
+    mode = APPROX_STRATEGY_MODES.get(name)
+    if mode is None:
+        return greedy_spanner(graph, stretch, oracle=name), {}
+    if metric is None:
+        raise ValueError(
+            f"strategy {name!r} runs Approximate-Greedy and needs a metric "
+            f"workload, not {graph!r}"
+        )
+    epsilon = approx_epsilon(stretch)
+    base = (
+        "theta"
+        if isinstance(metric, EuclideanMetric) and metric.dimension == 2
+        else "net-tree"
+    )
+    spanner = approximate_greedy_spanner(
+        metric, epsilon, base=base, cluster_mode=mode
+    )
+    return spanner, {"epsilon": epsilon}
+
+
 def run_oracle_matrix(
     workload: dict[str, object],
     strategies: Sequence[str] = DEFAULT_STRATEGIES,
     *,
     measure_memory: bool = True,
 ) -> dict[str, object]:
-    """Run the greedy spanner once per strategy over ``workload``.
+    """Run one spanner construction per strategy over ``workload``.
 
-    Returns one run record: per-strategy seconds, operation counts and (with
-    ``measure_memory``, the default) the tracemalloc peak-memory high-water
-    mark of the construction, the wall-clock speedup and settle reduction
-    relative to the ``"bounded"`` baseline strategy (when benched), and the
-    edge-set cross-check verdict.  Memory tracing roughly doubles the
+    Exact-oracle strategies run the greedy spanner; ``approx-greedy`` /
+    ``approx-greedy-scratch`` run Algorithm Approximate-Greedy with the
+    incremental / from-scratch cluster engine.  Returns one run record:
+    per-strategy seconds, operation counts and (with ``measure_memory``, the
+    default) the tracemalloc peak-memory high-water mark of the
+    construction, the wall-clock speedup and settle reduction relative to
+    the ``"bounded"`` baseline strategy (when benched), and the edge-set
+    cross-check verdicts — ``identical_edge_sets`` within the exact family,
+    ``approx_identical_edge_sets`` within the approx family (only present
+    when an approx strategy ran).  Memory tracing roughly doubles the
     wall-clock numbers; they remain comparable within one run.
     """
-    graph = _build_graph(workload)
+    graph, metric = _build_instance(workload)
     stretch = float(workload["stretch"])
 
     records: dict[str, dict[str, float]] = {}
-    reference: Optional[WeightedGraph] = None
+    exact_reference: Optional[WeightedGraph] = None
+    approx_reference: Optional[WeightedGraph] = None
     identical = True
+    approx_identical = True
+    any_approx = False
     for name in strategies:
         start = time.perf_counter()
         if measure_memory:
             with traced_peak_memory() as read_peak:
-                spanner = greedy_spanner(graph, stretch, oracle=name)
+                spanner, extras = _run_strategy(name, graph, metric, stretch)
             peak: Optional[int] = read_peak()
         else:
-            spanner = greedy_spanner(graph, stretch, oracle=name)
+            spanner, extras = _run_strategy(name, graph, metric, stretch)
             peak = None
         seconds = time.perf_counter() - start
         record: dict[str, float] = {"seconds": seconds}
+        record.update(extras)
         for key in _COUNTER_KEYS:
             if key in spanner.metadata:
                 record[key] = spanner.metadata[key]
@@ -139,10 +329,17 @@ def run_oracle_matrix(
         if peak is not None:
             record["peak_memory_bytes"] = float(peak)
         records[name] = record
-        if reference is None:
-            reference = spanner.subgraph
-        elif not spanner.subgraph.same_edges(reference):
-            identical = False
+        if name in APPROX_STRATEGY_MODES:
+            any_approx = True
+            if approx_reference is None:
+                approx_reference = spanner.subgraph
+            elif not spanner.subgraph.same_edges(approx_reference):
+                approx_identical = False
+        else:
+            if exact_reference is None:
+                exact_reference = spanner.subgraph
+            elif not spanner.subgraph.same_edges(exact_reference):
+                identical = False
 
     result: dict[str, object] = {
         "workload": dict(workload),
@@ -153,6 +350,8 @@ def run_oracle_matrix(
         # honest when runs with different settings are merged.
         "memory_traced": bool(measure_memory),
     }
+    if any_approx:
+        result["approx_identical_edge_sets"] = approx_identical
     if "bounded" in records:
         base = records["bounded"]
         result["speedup_vs_bounded"] = {

@@ -181,6 +181,37 @@ def _register_default_workloads() -> None:
         factory=lambda: concentric_shells_metric(8, 12),
         parameters={"shells": 8, "points_per_shell": 12},
     ))
+    # Large-n scenarios for the Approximate-Greedy scale rows of
+    # `repro bench-oracles` — beyond the exact greedy's reach (use the
+    # approx-greedy strategies or expect hours).
+    register(WorkloadSpec(
+        name="uniform-2d-xl",
+        kind="metric",
+        description="20000 uniform points in the unit square (approx-greedy scale)",
+        factory=lambda: uniform_points(20000, 2, seed=43),
+        parameters={"n": 20000, "d": 2, "seed": 43},
+    ))
+    register(WorkloadSpec(
+        name="clustered-2d-large",
+        kind="metric",
+        description="10000 points in 50 tight Gaussian clusters (approx-greedy scale)",
+        factory=lambda: clustered_points(10000, 2, clusters=50, seed=41),
+        parameters={"n": 10000, "d": 2, "clusters": 50, "seed": 41},
+    ))
+    register(WorkloadSpec(
+        name="grid-2d-large",
+        kind="metric",
+        description="100x100 grid of points (approx-greedy scale, maximal ties)",
+        factory=lambda: grid_points(100, 2),
+        parameters={"side": 100, "d": 2},
+    ))
+    register(WorkloadSpec(
+        name="uniform-8d",
+        kind="metric",
+        description="500 uniform points in the 8-cube (high-dim net-tree substrate)",
+        factory=lambda: uniform_points(500, 8, seed=42),
+        parameters={"n": 500, "d": 8, "seed": 42},
+    ))
 
 
 def _connected_gnm(n: int, m: int, *, seed: int) -> WeightedGraph:

@@ -87,6 +87,17 @@ class IndexedGraph:
             self._neighbour_weights.append([])
         return vid
 
+    def add_vertices(self, vertices: Iterable[Vertex]) -> None:
+        """Intern ``vertices`` in iteration order (batch form of :meth:`intern`).
+
+        Interning is *stable*: ids already assigned never move, and new ids
+        continue from the current count — the append-capable id map the
+        incremental cluster engine relies on (a consumer can cache ids across
+        arbitrarily many later appends).
+        """
+        for vertex in vertices:
+            self.intern(vertex)
+
     def id_of(self, vertex: Vertex) -> int:
         """Return the id of ``vertex``; raise :class:`KeyError` if unknown."""
         return self._id_of[vertex]
@@ -139,6 +150,23 @@ class IndexedGraph:
         value = _validate_weight(weight)
         uid = self.intern(u)
         vid = self.intern(v)
+        self._append_half_edge(uid, vid, value)
+        self._append_half_edge(vid, uid, value)
+        self._edge_count += 1
+
+    def append_edge_unchecked_ids(self, uid: int, vid: int, weight: float) -> None:
+        """Id-based :meth:`append_edge_unchecked` for already-interned endpoints.
+
+        The amortized O(1) growth path of the live spanner index: the adjacency
+        arrays are plain Python lists, whose append is amortized constant time
+        via capacity doubling, so a graph built through this method costs
+        O(m) total regardless of interleaving with searches — no
+        re-snapshotting needed.  As with :meth:`append_edge_unchecked`, the
+        caller must guarantee the edge is absent.
+        """
+        if uid == vid:
+            raise SelfLoopError(f"self-loop on vertex {self._vertex_of[uid]!r} is not allowed")
+        value = _validate_weight(weight)
         self._append_half_edge(uid, vid, value)
         self._append_half_edge(vid, uid, value)
         self._edge_count += 1

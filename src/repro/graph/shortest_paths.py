@@ -26,7 +26,11 @@ oracles and the cluster graphs (see ``docs/PERFORMANCE.md``):
 * :func:`indexed_bidirectional_cutoff` — meet-in-the-middle bounded search:
   two half-radius balls instead of one full-radius ball,
 * :func:`indexed_ball` — all vertices within a radius (cluster construction,
-  and the caching oracle's batch-harvest of certified upper bounds).
+  and the caching oracle's batch-harvest of certified upper bounds),
+* :func:`indexed_greedy_clustering` — greedy ``r``-net centre selection plus
+  closest-centre assignment as *one* batched multi-source sweep (the cluster
+  graphs' construction kernel; provably identical to one
+  :func:`indexed_ball` per centre, at a fraction of the settles).
 
 All functions treat unreachable vertices as being at distance ``math.inf``.
 """
@@ -305,6 +309,74 @@ def indexed_ball(graph: IndexedGraph, source: int, radius: float) -> dict[int, f
             if new_dist <= radius:
                 push(heap, (new_dist, neighbour))
     return settled
+
+
+def indexed_greedy_clustering(
+    graph: IndexedGraph, radius: float
+) -> tuple[list[int], list[int], list[float], int]:
+    """Greedy ``radius``-net plus closest-centre assignment in one batched sweep.
+
+    Scans the vertex ids in order; any id not yet within ``radius`` of an
+    existing centre becomes a centre itself and its ball is expanded.  All
+    balls share **one** heap and one distance array: a vertex settled at
+    distance ``d`` by an earlier centre is re-settled by a later centre only
+    on a *strict* improvement, so the result is exactly the per-centre-ball
+    construction (centre set, closest-centre assignment with earliest-centre
+    tie-breaking, exact offsets) while each vertex is settled once per
+    distinct improvement instead of once per covering ball.
+
+    Two structural fast paths keep the work proportional to the vertices
+    actually touched:
+
+    * a vertex whose lightest incident edge exceeds ``radius`` can neither
+      absorb nor be absorbed through its neighbours, so it is classified as a
+      singleton centre without touching the heap;
+    * the heap is fully drained after each new centre, so coverage checks are
+      plain array reads.
+
+    Returns ``(centres, centre_of, offset_of, settles)``: ``centres`` is the
+    centre ids in creation (= id) order, ``centre_of[v]`` the id of the
+    closest centre of ``v``, ``offset_of[v]`` the exact distance to it, and
+    ``settles`` the number of non-stale heap pops (the operation count the
+    benches report — singleton fast-path centres cost no settle).
+    """
+    neighbour_ids, neighbour_weights = graph.adjacency_arrays()
+    n = graph.number_of_vertices
+    inf = math.inf
+    dist: list[float] = [inf] * n
+    centre: list[int] = [-1] * n
+    centres: list[int] = []
+    settles = 0
+    heap: list[tuple[float, int]] = []
+    push = heapq.heappush
+    pop = heapq.heappop
+
+    for vid in range(n):
+        if dist[vid] <= radius:
+            continue  # covered by an earlier centre's ball
+        centres.append(vid)
+        dist[vid] = 0.0
+        centre[vid] = vid
+        weights = neighbour_weights[vid]
+        if not weights or min(weights) > radius:
+            continue  # singleton: nothing reachable within the radius
+        push(heap, (0.0, vid))
+        while heap:
+            d, x = pop(heap)
+            if d > dist[x]:
+                continue  # stale entry superseded by a strict improvement
+            settles += 1
+            owner = centre[x]
+            for neighbour, weight in zip(neighbour_ids[x], neighbour_weights[x]):
+                new_dist = d + weight
+                if new_dist <= radius and new_dist < dist[neighbour]:
+                    dist[neighbour] = new_dist
+                    centre[neighbour] = owner
+                    push(heap, (new_dist, neighbour))
+
+    # Every id is either absorbed or promoted to a centre during the scan, so
+    # `dist` is fully populated: it doubles as the offset array.
+    return centres, centre, dist, settles
 
 
 def pair_distance(graph: WeightedGraph, source: Vertex, target: Vertex) -> float:

@@ -57,7 +57,52 @@ class TestNetTreeBase:
         assert metadata["light_edges"] + metadata["heavy_edges"] == metadata["base_edges"]
         assert metadata["edges_added_by_simulation"] <= metadata["heavy_edges"]
         assert metadata["buckets"] >= 1
-        assert metadata["cluster_rebuilds"] == metadata["buckets"]
+        # Every bucket is served by exactly one cluster refresh: the initial
+        # build plus, per transition, a merge (incremental), a rebuild
+        # (from-scratch) or a recorded skip.
+        refreshes = (
+            metadata["cluster_rebuilds"]
+            + metadata["cluster_merges"]
+            + metadata["cluster_skipped_transitions"]
+        )
+        assert refreshes == metadata["buckets"]
+        assert metadata["cluster_transitions"] == metadata["buckets"] - 1
+
+    def test_incremental_is_default_and_merges(self, small_points):
+        spanner = approximate_greedy_spanner(small_points, 0.5, bucket_ratio=2.0)
+        metadata = spanner.metadata
+        assert metadata["cluster_rebuilds"] == 1.0
+        if metadata["buckets"] > 1:
+            assert (
+                metadata["cluster_merges"] + metadata["cluster_skipped_transitions"]
+                == metadata["buckets"] - 1
+            )
+
+    def test_from_scratch_mode_rebuilds_each_bucket(self, small_points):
+        spanner = approximate_greedy_spanner(
+            small_points, 0.5, bucket_ratio=2.0, cluster_mode="from-scratch"
+        )
+        metadata = spanner.metadata
+        assert spanner.is_valid()
+        assert metadata["cluster_merges"] == 0.0
+        assert (
+            metadata["cluster_rebuilds"] + metadata["cluster_skipped_transitions"]
+            == metadata["buckets"]
+        )
+
+    def test_unknown_cluster_mode_rejected(self, small_points):
+        with pytest.raises(ValueError):
+            approximate_greedy_spanner(small_points, 0.5, cluster_mode="mystery")
+
+    def test_modes_produce_identical_edge_sets(self, small_points, clustered_metric):
+        for metric in (small_points, clustered_metric):
+            incremental = approximate_greedy_spanner(
+                metric, 0.5, bucket_ratio=2.0, verify_cluster_transitions=True
+            )
+            scratch = approximate_greedy_spanner(
+                metric, 0.5, bucket_ratio=2.0, cluster_mode="from-scratch"
+            )
+            assert incremental.subgraph.same_edges(scratch.subgraph)
 
     def test_works_on_line_metric(self):
         metric = line_points(30, spacing=1.0)

@@ -97,6 +97,94 @@ class TestApproximateDistances:
         assert true_distance <= tight_estimate <= loose_estimate + 1e-9
 
 
+class TestRebuildSkipping:
+    def test_clean_same_radius_rebuild_is_skipped(self, partial_spanner):
+        clusters = ClusterGraph(partial_spanner, radius=2.0)
+        assert clusters.rebuild_count == 1
+        clusters.rebuild()
+        clusters.rebuild(2.0)
+        assert clusters.rebuild_count == 1
+        assert clusters.skipped_rebuilds == 2
+
+    def test_dirty_same_radius_rebuild_runs(self, partial_spanner):
+        clusters = ClusterGraph(partial_spanner, radius=2.0)
+        u, v = list(partial_spanner.vertices())[:2]
+        if not partial_spanner.has_edge(u, v):
+            partial_spanner.add_edge(u, v, 0.25)
+            clusters.notify_edge_added(u, v, 0.25)
+        clusters.rebuild()
+        assert clusters.rebuild_count == 2
+        assert clusters.skipped_rebuilds == 0
+
+    def test_out_of_band_spanner_mutation_defeats_the_skip(self, partial_spanner):
+        """Edges added without notify_edge_added must still force a rebuild
+        (the dirty flag cannot see them; the index/spanner edge-count
+        comparison does)."""
+        clusters = ClusterGraph(partial_spanner, radius=2.0)
+        vertices = list(partial_spanner.vertices())
+        u, v = vertices[0], vertices[-1]
+        if not partial_spanner.has_edge(u, v):
+            partial_spanner.add_edge(u, v, 0.125)
+        clusters.rebuild()
+        assert clusters.rebuild_count == 2
+        assert clusters.skipped_rebuilds == 0
+        assert clusters.index.number_of_edges == partial_spanner.number_of_edges
+
+    def test_radius_change_always_rebuilds(self, partial_spanner):
+        clusters = ClusterGraph(partial_spanner, radius=2.0)
+        clusters.rebuild(3.0)
+        assert clusters.rebuild_count == 2
+
+    def test_incremental_transition_to_same_radius_is_skipped(self, partial_spanner):
+        clusters = ClusterGraph(partial_spanner, radius=2.0, mode="incremental")
+        clusters.transition(2.0)
+        assert clusters.skipped_transitions == 1
+        assert clusters.merge_count == 0
+
+
+class TestIncrementalMode:
+    def test_unknown_mode_rejected(self, partial_spanner):
+        with pytest.raises(ValueError):
+            ClusterGraph(partial_spanner, radius=1.0, mode="mystery")
+
+    def test_merge_coarsens_and_keeps_invariant(self, partial_spanner):
+        clusters = ClusterGraph(
+            partial_spanner, radius=1.0, mode="incremental", verify_transitions=True
+        )
+        before = clusters.number_of_clusters
+        clusters.transition(4.0)
+        assert clusters.merge_count == 1
+        assert clusters.number_of_clusters <= before
+        for vertex, offset in clusters.offset_of.items():
+            assert offset <= 4.0 + 1e-9
+            assert (
+                pair_distance(partial_spanner, clusters.centre_of[vertex], vertex)
+                <= offset + 1e-9
+            )
+        vertices = list(partial_spanner.vertices())
+        pairs = list(itertools.islice(itertools.combinations(vertices, 2), 40))
+        assert clusters.check_never_underestimates(pairs)
+
+    def test_shrinking_radius_falls_back_to_rebuild(self, partial_spanner):
+        clusters = ClusterGraph(partial_spanner, radius=4.0, mode="incremental")
+        clusters.transition(1.0)
+        assert clusters.merge_count == 0
+        assert clusters.rebuild_count == 2
+        assert clusters.radius == 1.0
+
+    def test_never_underestimates_after_merges_and_notifies(self):
+        graph = grid_graph(7, 7)
+        clusters = ClusterGraph(
+            graph, radius=0.5, mode="incremental", verify_transitions=True
+        )
+        graph.add_edge((0, 0), (6, 6), 3.0)
+        clusters.notify_edge_added((0, 0), (6, 6), 3.0)
+        clusters.transition(1.5)
+        clusters.transition(4.0)
+        pairs = list(itertools.islice(itertools.combinations(graph.vertices(), 2), 80))
+        assert clusters.check_never_underestimates(pairs)
+
+
 class TestUpdates:
     def test_notify_edge_added_improves_estimate(self):
         graph = path_graph(20)

@@ -116,3 +116,37 @@ class TestIndexedSearches:
             exact = pair_distance(small_random_graph, source, indexed.vertex_of(vid))
             assert dist == pytest.approx(exact)
             assert dist <= 5.0 or vid == indexed.id_of(source)
+
+
+class TestAppendSupport:
+    def test_add_vertices_is_stable(self):
+        graph = IndexedGraph()
+        graph.add_vertices(["a", "b", "c"])
+        assert [graph.id_of(v) for v in "abc"] == [0, 1, 2]
+        graph.add_vertices(["b", "d"])  # re-interning never moves an id
+        assert graph.id_of("b") == 1
+        assert graph.id_of("d") == 3
+        assert graph.number_of_vertices == 4
+
+    def test_append_edge_unchecked_ids(self):
+        graph = IndexedGraph(vertices=["a", "b", "c"])
+        graph.append_edge_unchecked_ids(0, 1, 2.0)
+        graph.append_edge_unchecked_ids(1, 2, 1.5)
+        assert graph.number_of_edges == 2
+        assert graph.weight_ids(0, 1) == 2.0
+        assert graph.weight_ids(2, 1) == 1.5
+
+    def test_append_edge_unchecked_ids_rejects_self_loop(self):
+        graph = IndexedGraph(vertices=["a"])
+        with pytest.raises(SelfLoopError):
+            graph.append_edge_unchecked_ids(0, 0, 1.0)
+
+    def test_ids_survive_interleaved_growth(self):
+        """The append-capable id map: ids cached before arbitrary later
+        appends keep resolving to the same vertices (no re-snapshotting)."""
+        graph = IndexedGraph(vertices=range(6))
+        cached = [graph.id_of(v) for v in range(6)]
+        for step in range(5):
+            graph.append_edge_unchecked_ids(step, step + 1, 1.0)
+        assert [graph.id_of(v) for v in range(6)] == cached
+        assert graph.number_of_edges == 5

@@ -96,3 +96,43 @@ class TestCommands:
             ["bench-oracles", "--n", "30", "--strategies", "warp-drive", "--output", str(out)]
         ) == 2
         assert "unknown oracle strategies" in capsys.readouterr().out
+
+    def test_bench_oracles_approx_strategy_row(self, capsys, tmp_path):
+        out = tmp_path / "BENCH.json"
+        assert main(
+            ["bench-oracles", "--n", "40", "--stretch", "1.5", "--no-memory",
+             "--strategies", "approx-greedy,approx-greedy-scratch",
+             "--output", str(out)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "approx engines identical: True" in output
+
+    def test_bench_oracles_rejects_empty_strategies(self, capsys, tmp_path):
+        out = tmp_path / "BENCH.json"
+        assert main(
+            ["bench-oracles", "--n", "30", "--strategies", "", "--output", str(out)]
+        ) == 2
+        assert "unknown oracle strategies" in capsys.readouterr().out
+
+    def test_bench_oracles_rejects_approx_on_graph_workload(self, capsys, tmp_path):
+        out = tmp_path / "BENCH.json"
+        assert main(
+            ["bench-oracles", "--kind", "graph", "--n", "30",
+             "--strategies", "approx-greedy", "--no-memory", "--output", str(out)]
+        ) == 2
+        assert "cannot bench" in capsys.readouterr().out
+
+    def test_bench_oracles_rejects_unknown_workload_key(self, capsys, tmp_path):
+        out = tmp_path / "BENCH.json"
+        assert main(
+            ["bench-oracles", "--workloads", "no-such-row", "--output", str(out)]
+        ) == 2
+        assert "unknown bench workloads" in capsys.readouterr().out
+
+    def test_bench_oracles_clustered_kind(self, capsys, tmp_path):
+        out = tmp_path / "BENCH.json"
+        assert main(
+            ["bench-oracles", "--kind", "clustered", "--n", "30", "--clusters", "3",
+             "--strategies", "cached", "--no-memory", "--output", str(out)]
+        ) == 0
+        assert "clustered-euclidean-n30" in capsys.readouterr().out
