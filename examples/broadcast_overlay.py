@@ -4,15 +4,17 @@
 The paper's Section 1.1 motivates light, sparse, low-degree spanners with
 distributed applications: broadcast cost tracks the overlay's total weight,
 delivery speed tracks its stretch, and per-node load tracks its degree.  This
-example builds a random geometric ("wireless") network and floods a message
-from one node over four overlays:
+example builds a random geometric ("wireless") network, materializes four
+overlays through the spanner-builder registry:
 
 * the full network (fastest, most expensive),
 * the MST (cheapest, slowest),
 * the greedy 1.5-spanner (the paper's sweet spot),
-* a Baswana–Sen 3-spanner (a sparse but heavier baseline).
+* a Baswana–Sen 3-spanner (a sparse but heavier baseline),
 
-It also prints the per-pulse cost of running a synchronizer on each overlay.
+then floods a message from one node over each and prints the per-pulse cost
+of running a synchronizer on each — one pass through the unified comparison
+harness, driven by the indexed overlay engine.
 
 Run with::
 
@@ -21,28 +23,32 @@ Run with::
 
 from __future__ import annotations
 
-from repro import greedy_spanner
-from repro.distributed.broadcast import compare_broadcast_overlays
-from repro.distributed.synchronizer import compare_synchronizer_overlays
+from repro.distributed.comparison import compare_overlays, overlays_from_builders
 from repro.experiments.reporting import render_table
 from repro.graph.generators import random_geometric_graph
-from repro.spanners.baswana_sen import baswana_sen_spanner
-from repro.spanners.trivial import mst_spanner
 
 
 def main() -> None:
     network = random_geometric_graph(150, 0.15, seed=13)
     print(f"network: {network}")
 
-    overlays = {
-        "full-network": network,
-        "mst": mst_spanner(network).subgraph,
-        "greedy-1.5-spanner": greedy_spanner(network, 1.5).subgraph,
-        "baswana-sen-3-spanner": baswana_sen_spanner(network, 2, seed=13).subgraph,
-    }
+    overlays = overlays_from_builders(
+        network,
+        {
+            "mst": {"builder": "mst"},
+            "greedy-1.5-spanner": {"builder": "greedy"},
+            "baswana-sen-3-spanner": {"builder": "baswana-sen", "k": 2, "seed": 13},
+        },
+        stretch=1.5,
+        base_label="full-network",
+    )
+
+    comparison = compare_overlays(
+        network, overlays, protocols=("broadcast", "synchronizer"), pulses=100
+    )
 
     broadcast_rows = []
-    for outcome in compare_broadcast_overlays(network, overlays):
+    for outcome in comparison.broadcast:
         row = {"overlay": outcome.overlay_name}
         row.update(outcome.as_row())
         broadcast_rows.append(row)
@@ -50,7 +56,7 @@ def main() -> None:
     print(render_table(broadcast_rows, title="Flood broadcast from one source"))
 
     sync_rows = []
-    for cost in compare_synchronizer_overlays(overlays, pulses=100):
+    for cost in comparison.synchronizer:
         row = {"overlay": cost.overlay_name}
         row.update(cost.as_row())
         sync_rows.append(row)

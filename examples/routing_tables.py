@@ -3,9 +3,11 @@
 
 The paper's introduction notes that low-degree spanners keep routing state
 small: the per-node port count is the overlay degree, and routed paths are at
-most the overlay's stretch longer than optimal.  This example routes the same
-random demand set over four overlays of a random geometric network and prints
-the trade-off.
+most the overlay's stretch longer than optimal.  This example builds four
+overlays of a random geometric network through the spanner-builder registry,
+routes the same random demand set over each on the indexed engine (flat numpy
+next-hop tables), and prints the trade-off — including the route-stretch
+percentiles and the tables' byte footprint.
 
 Run with::
 
@@ -14,27 +16,32 @@ Run with::
 
 from __future__ import annotations
 
-from repro import greedy_spanner
-from repro.distributed.routing import compare_routing_overlays
+from repro.distributed.comparison import compare_overlays, overlays_from_builders
 from repro.experiments.reporting import render_table
 from repro.graph.generators import random_geometric_graph
-from repro.spanners.baswana_sen import baswana_sen_spanner
-from repro.spanners.trivial import mst_spanner
 
 
 def main() -> None:
     network = random_geometric_graph(120, 0.18, seed=29)
     print(f"network: {network}")
 
-    overlays = {
-        "full-network": network,
-        "greedy-1.5-spanner": greedy_spanner(network, 1.5).subgraph,
-        "baswana-sen": baswana_sen_spanner(network, 2, seed=29).subgraph,
-        "mst": mst_spanner(network).subgraph,
-    }
+    overlays = overlays_from_builders(
+        network,
+        {
+            "greedy-1.5-spanner": {"builder": "greedy"},
+            "baswana-sen": {"builder": "baswana-sen", "k": 2, "seed": 29},
+            "mst": {"builder": "mst"},
+        },
+        stretch=1.5,
+        base_label="full-network",
+    )
+
+    comparison = compare_overlays(
+        network, overlays, protocols=("routing",), demand_count=200, seed=30
+    )
 
     rows = []
-    for report in compare_routing_overlays(network, overlays, demand_count=200, seed=30):
+    for report in comparison.routing:
         row = {"overlay": report.overlay_name}
         row.update(report.as_row())
         rows.append(row)

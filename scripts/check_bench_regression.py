@@ -8,17 +8,26 @@ wall-clock time these are deterministic for a fixed workload seed, so they
 can be diffed machine-independently: an operation-count increase means the
 hot path genuinely got slower, not that CI got a noisy neighbour.
 
+The overlay benchmark (``repro bench-overlays``) emits the same document
+shape with ``overlay_*`` counters (heap pops of the routing-table,
+broadcast and synchronizer engines), so one checker gates both
+trajectories: pass ``--fresh-overlays`` / ``--baseline-overlays`` to diff
+the overlay pair in the same invocation.
+
 Usage (standalone)::
 
     python scripts/check_bench_regression.py \
         --fresh BENCH_oracles.json \
         --baseline benchmarks/BENCH_oracles.json \
+        --fresh-overlays BENCH_overlays.json \
+        --baseline-overlays benchmarks/BENCH_overlays.json \
         --threshold 0.25
 
 Exit code 1 if any strategy's operation count regressed by more than the
 threshold (default 25%) on any workload present in both files.  The pytest
-entry point lives in ``benchmarks/test_bench_oracle_matrix.py`` (marker
-``bench_regression``); both import :func:`find_regressions` below.
+entry points live in ``benchmarks/test_bench_oracle_matrix.py`` and
+``benchmarks/test_bench_overlays.py`` (marker ``bench_regression``); all
+import :func:`find_regressions` below.
 """
 
 from __future__ import annotations
@@ -31,9 +40,11 @@ from pathlib import Path
 DEFAULT_THRESHOLD = 0.25
 
 #: Deterministic counters compared per strategy (mirrors
-#: ``repro.experiments.oracle_bench.OPERATION_COUNT_KEYS``; duplicated here so
-#: the script runs without PYTHONPATH set up).  The ``cluster_*`` /
-#: ``approximate_queries`` counters gate the Approximate-Greedy rows
+#: ``repro.experiments.oracle_bench.OPERATION_COUNT_KEYS`` plus
+#: ``repro.experiments.overlay_bench.OPERATION_COUNT_KEYS``; duplicated here
+#: so the script runs without PYTHONPATH set up).  The ``cluster_*`` /
+#: ``approximate_queries`` counters gate the Approximate-Greedy rows and the
+#: ``overlay_*`` counters the distributed overlay engine rows
 #: (op counts only — never wall-clock).
 OPERATION_COUNT_KEYS = (
     "dijkstra_settles",
@@ -43,6 +54,10 @@ OPERATION_COUNT_KEYS = (
     "cluster_initial_settles",
     "cluster_transition_settles",
     "cluster_query_settles",
+    "overlay_broadcast_messages",
+    "overlay_broadcast_events",
+    "overlay_route_settles",
+    "overlay_sync_settles",
 )
 
 
@@ -113,6 +128,16 @@ def main(argv: list[str] | None = None) -> int:
         help="committed baseline trajectory",
     )
     parser.add_argument(
+        "--fresh-overlays",
+        default=None,
+        help="freshly emitted overlay trajectory (BENCH_overlays.json); optional",
+    )
+    parser.add_argument(
+        "--baseline-overlays",
+        default="benchmarks/BENCH_overlays.json",
+        help="committed overlay baseline trajectory",
+    )
+    parser.add_argument(
         "--threshold",
         type=float,
         default=DEFAULT_THRESHOLD,
@@ -120,14 +145,24 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    for path in (args.fresh, args.baseline):
-        if not Path(path).exists():
-            print(f"missing file: {path}", file=sys.stderr)
-            return 2
+    pairs = [("oracles", args.baseline, args.fresh)]
+    if args.fresh_overlays is not None:
+        pairs.append(("overlays", args.baseline_overlays, args.fresh_overlays))
 
-    problems = find_regressions(
-        load_document(args.baseline), load_document(args.fresh), threshold=args.threshold
-    )
+    problems: list[str] = []
+    for label, baseline_path, fresh_path in pairs:
+        for path in (fresh_path, baseline_path):
+            if not Path(path).exists():
+                print(f"missing file: {path}", file=sys.stderr)
+                return 2
+        problems.extend(
+            f"[{label}] {problem}"
+            for problem in find_regressions(
+                load_document(baseline_path),
+                load_document(fresh_path),
+                threshold=args.threshold,
+            )
+        )
     if problems:
         print("operation-count regressions detected:")
         for problem in problems:

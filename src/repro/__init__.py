@@ -37,6 +37,7 @@ from repro.core import (
 )
 from repro.graph import WeightedGraph
 from repro.metric import EuclideanMetric, GraphMetric, MetricClosure, sorted_pair_stream
+from repro.spanners.registry import build_spanner, builder_names
 
 __version__ = "1.1.0"
 
@@ -50,6 +51,8 @@ __all__ = [
     "greedy_spanner",
     "greedy_spanner_of_metric",
     "approximate_greedy_spanner",
+    "build_spanner",
+    "builder_names",
     "analyse_figure1",
     "existential_optimality_certificate",
     "metric_optimality_certificate",

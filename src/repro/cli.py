@@ -3,13 +3,14 @@
 Entry points (also usable as ``python -m repro.cli <command>``):
 
 * ``list-workloads`` — print the workload registry.
+* ``list-builders`` — print the spanner-builder registry.
 * ``figure1`` — reproduce the paper's Figure 1 example.
-* ``experiment <id>`` — run one experiment from DESIGN.md's index (E1–E10)
+* ``experiment <id>`` — run one experiment from DESIGN.md's index (E1–E11)
   and print its table.  ``--quick`` shrinks the workloads.
 * ``compare`` — run the Euclidean construction comparison on a chosen
   workload size and stretch.
-* ``spanner`` — build a greedy spanner of a registered workload and print its
-  statistics.
+* ``spanner`` — build a spanner of a registered workload with any registered
+  builder (``--builder``, default greedy) and print its statistics.
 * ``bench-oracles`` — run the strategy matrix (exact distance oracles plus
   the ``approx-greedy`` / ``approx-greedy-scratch`` cluster-engine rows) on
   an ad-hoc workload (uniform / clustered / grid Euclidean or an
@@ -18,6 +19,11 @@ Entry points (also usable as ``python -m repro.cli <command>``):
   (``--workloads``), print the comparison table with per-strategy
   tracemalloc peak memory and merge the measurements into a
   ``BENCH_oracles.json`` perf trajectory (see docs/PERFORMANCE.md).
+* ``bench-overlays`` — drive broadcast / routing / synchronizer over one
+  overlay per registry builder on the indexed distributed engine, print the
+  per-builder table and merge the rows (wall clock plus the deterministic
+  ``overlay_*`` operation counts) into a ``BENCH_overlays.json`` trajectory
+  gated by ``scripts/check_bench_regression.py``.
 
 The CLI exists so the repository can be exercised without writing Python —
 e.g. ``python -m repro.cli experiment E3``.
@@ -30,12 +36,11 @@ import sys
 from typing import Callable, Optional, Sequence
 
 from repro.core.distance_oracle import ORACLE_FACTORIES
-from repro.core.greedy import greedy_spanner, greedy_spanner_of_metric
 from repro.experiments import experiments as exp
 from repro.experiments.harness import ExperimentResult
 from repro.experiments.reporting import render_table
 from repro.experiments.workloads import get_workload, list_workloads
-from repro.graph.weighted_graph import WeightedGraph
+from repro.spanners.registry import build_spanner, builder_names, list_builders
 
 _EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "E1": exp.experiment_figure1,
@@ -48,6 +53,7 @@ _EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "E8": exp.experiment_degree,
     "E9": exp.experiment_routing,
     "E10": exp.experiment_oracle_matrix,
+    "E11": exp.experiment_overlay_matrix,
 }
 
 _QUICK_ARGUMENTS: dict[str, dict[str, object]] = {
@@ -61,6 +67,7 @@ _QUICK_ARGUMENTS: dict[str, dict[str, object]] = {
     "E8": {"star_sizes": (10, 20), "euclidean_sizes": (40,)},
     "E9": {"n": 50, "demand_count": 40},
     "E10": {"n": 60},
+    "E11": {"n": 60},
 }
 
 
@@ -103,15 +110,37 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_list_builders(args: argparse.Namespace) -> int:
+    rows = [
+        {
+            "name": builder.name,
+            "domain": builder.domain,
+            "description": builder.description,
+        }
+        for builder in list_builders()
+    ]
+    print(render_table(rows, title="Registered spanner builders"))
+    return 0
+
+
 def _command_spanner(args: argparse.Namespace) -> int:
+    from repro.errors import UnsupportedWorkloadError
+
     spec = get_workload(args.workload)
     instance = spec.build()
-    if isinstance(instance, WeightedGraph):
-        spanner = greedy_spanner(instance, args.stretch, oracle=args.oracle)
-    else:
-        spanner = greedy_spanner_of_metric(instance, args.stretch, oracle=args.oracle)
+    params: dict[str, object] = {}
+    if args.builder == "greedy":
+        params["oracle"] = args.oracle
+    try:
+        spanner = build_spanner(args.builder, instance, args.stretch, **params)
+    except UnsupportedWorkloadError as error:
+        print(str(error))
+        return 2
     stats = spanner.statistics(measure_stretch=args.measure_stretch)
-    print(render_table([stats.as_row()], title=f"greedy {args.stretch}-spanner of {spec.name}"))
+    print(render_table(
+        [stats.as_row()],
+        title=f"{args.builder} {args.stretch}-spanner of {spec.name}",
+    ))
     return 0
 
 
@@ -203,6 +232,101 @@ def _command_bench_oracles(args: argparse.Namespace) -> int:
     return 0 if all_consistent else 1
 
 
+def _command_bench_overlays(args: argparse.Namespace) -> int:
+    from repro.errors import UnsupportedWorkloadError
+    from repro.experiments.oracle_bench import (
+        clustered_workload,
+        euclidean_workload,
+        graph_workload,
+        grid_workload,
+    )
+    from repro.experiments.overlay_bench import (
+        DEFAULT_GRAPH_BUILDERS,
+        DEFAULT_METRIC_BUILDERS,
+        OVERLAY_PRESETS,
+        geometric_workload,
+        merge_run_into_file,
+        render_rows,
+        run_overlay_bench,
+        workload_key,
+    )
+
+    valid_names = set(builder_names())
+    builders = None
+    if args.builders is not None:
+        requested = tuple(name.strip() for name in args.builders.split(",") if name.strip())
+        unknown = [name for name in requested if name not in valid_names]
+        if not requested or unknown:
+            print(
+                f"unknown spanner builders: {', '.join(unknown) or '(none given)'}; "
+                f"valid names: {', '.join(sorted(valid_names))}"
+            )
+            return 2
+        builders = requested
+
+    # Assemble (workload, builders) rows: named preset rows (--workloads) or
+    # one ad-hoc workload from the flags — the same shape as bench-oracles.
+    rows: list[tuple[dict[str, object], object]] = []
+    if args.workloads:
+        requested_keys = [key.strip() for key in args.workloads.split(",") if key.strip()]
+        if requested_keys == ["all"]:
+            requested_keys = list(OVERLAY_PRESETS)
+        unknown_keys = [key for key in requested_keys if key not in OVERLAY_PRESETS]
+        if not requested_keys or unknown_keys:
+            print(
+                f"unknown overlay workloads: {', '.join(unknown_keys) or '(none given)'}; "
+                "valid keys (or 'all'):"
+            )
+            for key in OVERLAY_PRESETS:
+                print(f"  {key}")
+            return 2
+        for key in requested_keys:
+            workload, default_builders = OVERLAY_PRESETS[key]
+            rows.append((workload, builders or default_builders))
+    else:
+        if args.kind == "euclidean":
+            workload = euclidean_workload(
+                n=args.n, dim=args.dim, seed=args.seed, stretch=args.stretch
+            )
+        elif args.kind == "clustered":
+            workload = clustered_workload(
+                n=args.n, dim=args.dim, clusters=args.clusters,
+                seed=args.seed, stretch=args.stretch,
+            )
+        elif args.kind == "grid":
+            workload = grid_workload(side=args.side, dim=args.dim, stretch=args.stretch)
+        elif args.kind == "graph":
+            workload = graph_workload(n=args.n, p=args.p, seed=args.seed, stretch=args.stretch)
+        else:
+            workload = geometric_workload(
+                n=args.n, radius=args.radius, seed=args.seed, stretch=args.stretch
+            )
+        if builders is None:
+            builders = (
+                DEFAULT_GRAPH_BUILDERS
+                if args.kind in ("graph", "geometric")
+                else DEFAULT_METRIC_BUILDERS
+            )
+        rows.append((workload, builders))
+
+    for workload, row_builders in rows:
+        try:
+            run = run_overlay_bench(
+                workload,
+                row_builders,
+                demand_count=args.demands,
+                pulses=args.pulses,
+            )
+        except UnsupportedWorkloadError as error:
+            print(f"cannot bench {workload_key(workload)}: {error}")
+            return 2
+        merge_run_into_file(args.output, run)
+        print(render_table(render_rows(run), title=f"overlay matrix: {workload_key(workload)}"))
+        print(f"pulse delay method: {run['diameter_method']}")
+    print(f"trajectory written to {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed separately for testing)."""
     parser = argparse.ArgumentParser(
@@ -214,6 +338,11 @@ def build_parser() -> argparse.ArgumentParser:
     list_parser = subparsers.add_parser("list-workloads", help="print the workload registry")
     list_parser.add_argument("--kind", choices=["graph", "metric"], default=None)
     list_parser.set_defaults(handler=_command_list_workloads)
+
+    builders_parser = subparsers.add_parser(
+        "list-builders", help="print the spanner-builder registry"
+    )
+    builders_parser.set_defaults(handler=_command_list_builders)
 
     figure1_parser = subparsers.add_parser("figure1", help="reproduce the paper's Figure 1")
     figure1_parser.add_argument("--epsilon", type=float, default=0.1)
@@ -231,15 +360,21 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--clustered", action="store_true")
     compare_parser.set_defaults(handler=_command_compare)
 
-    spanner_parser = subparsers.add_parser("spanner", help="greedy spanner of a registered workload")
+    spanner_parser = subparsers.add_parser("spanner", help="spanner of a registered workload")
     spanner_parser.add_argument("workload", help="workload name (see list-workloads)")
+    spanner_parser.add_argument(
+        "--builder",
+        choices=builder_names(),
+        default="greedy",
+        help="spanner construction (see list-builders)",
+    )
     spanner_parser.add_argument("--stretch", type=float, default=2.0)
     spanner_parser.add_argument("--measure-stretch", action="store_true")
     spanner_parser.add_argument(
         "--oracle",
         choices=sorted(ORACLE_FACTORIES),
         default="cached",
-        help="distance-oracle strategy for the greedy inner query",
+        help="distance-oracle strategy for the greedy inner query (greedy builder only)",
     )
     spanner_parser.set_defaults(handler=_command_spanner)
 
@@ -299,6 +434,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip tracemalloc peak-memory tracking (tracing ~doubles wall clock)",
     )
     bench_parser.set_defaults(handler=_command_bench_oracles)
+
+    overlay_parser = subparsers.add_parser(
+        "bench-overlays",
+        help=(
+            "benchmark broadcast/routing/synchronizer over registry-built "
+            "overlays and emit BENCH_overlays.json"
+        ),
+    )
+    overlay_parser.add_argument(
+        "--kind",
+        choices=["geometric", "euclidean", "clustered", "grid", "graph"],
+        default="geometric",
+        help=(
+            "ad-hoc workload family: random geometric (wireless) graph, "
+            "uniform / clustered-Gaussian / grid Euclidean points or an "
+            "Erdős–Rényi graph"
+        ),
+    )
+    overlay_parser.add_argument("--n", type=int, default=300, help="number of points / vertices")
+    overlay_parser.add_argument(
+        "--radius", type=float, default=0.12, help="connection radius (geometric only)"
+    )
+    overlay_parser.add_argument(
+        "--dim", type=int, default=2, help="dimension (euclidean/clustered/grid)"
+    )
+    overlay_parser.add_argument(
+        "--clusters", type=int, default=50, help="number of Gaussian clusters (clustered only)"
+    )
+    overlay_parser.add_argument(
+        "--side", type=int, default=100, help="grid side length (grid only; n = side**dim)"
+    )
+    overlay_parser.add_argument(
+        "--p", type=float, default=0.15, help="edge probability (graph only)"
+    )
+    overlay_parser.add_argument("--seed", type=int, default=7)
+    overlay_parser.add_argument("--stretch", type=float, default=1.5)
+    overlay_parser.add_argument(
+        "--demands", type=int, default=32, help="routing demand pairs per overlay"
+    )
+    overlay_parser.add_argument(
+        "--pulses", type=int, default=10, help="synchronizer pulses to account"
+    )
+    overlay_parser.add_argument(
+        "--workloads",
+        default=None,
+        help=(
+            "comma-separated overlay preset keys (or 'all') to (re)run named "
+            "matrix rows instead of an ad-hoc workload; see the keys in "
+            "benchmarks/BENCH_overlays.json"
+        ),
+    )
+    overlay_parser.add_argument(
+        "--builders",
+        default=None,
+        help=(
+            "comma-separated registry builder names to bench (see "
+            "list-builders); defaults to the workload kind's default set or "
+            "each preset row's recorded builders"
+        ),
+    )
+    overlay_parser.add_argument(
+        "--output", default="BENCH_overlays.json", help="JSON trajectory file to merge into"
+    )
+    overlay_parser.set_defaults(handler=_command_bench_overlays)
 
     return parser
 

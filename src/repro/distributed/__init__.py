@@ -1,11 +1,20 @@
 """Distributed-application substrate: broadcast and synchronizers over spanner overlays."""
 
 from repro.distributed.network import Message, Network, NetworkStatistics
+from repro.distributed.engine import (
+    EchoResult,
+    FloodRun,
+    echo_convergecast,
+    indexed_flood,
+    indexed_overlay,
+)
 from repro.distributed.broadcast import (
     BroadcastResult,
     broadcast_over_overlay,
     compare_broadcast_overlays,
+    echo_statistics,
     flood_broadcast,
+    flood_broadcast_with_tree,
 )
 from repro.distributed.synchronizer import (
     SynchronizerCost,
@@ -20,15 +29,27 @@ from repro.distributed.routing import (
     evaluate_routing,
     random_demands,
 )
+from repro.distributed.comparison import (
+    OverlayComparison,
+    compare_overlays,
+    overlays_from_builders,
+)
 
 __all__ = [
     "Message",
     "Network",
     "NetworkStatistics",
+    "EchoResult",
+    "FloodRun",
+    "echo_convergecast",
+    "indexed_flood",
+    "indexed_overlay",
     "BroadcastResult",
     "broadcast_over_overlay",
     "compare_broadcast_overlays",
+    "echo_statistics",
     "flood_broadcast",
+    "flood_broadcast_with_tree",
     "SynchronizerCost",
     "compare_synchronizer_overlays",
     "synchronizer_cost",
@@ -38,4 +59,7 @@ __all__ = [
     "compare_routing_overlays",
     "evaluate_routing",
     "random_demands",
+    "OverlayComparison",
+    "compare_overlays",
+    "overlays_from_builders",
 ]

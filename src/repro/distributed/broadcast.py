@@ -13,17 +13,40 @@ the trade-off the paper describes:
   the stretch factor of the fastest delivery while paying communication cost
   proportional to its weight — near the MST's.
 
+Two engines run the protocol behind the same functions:
+
+* ``mode="indexed"`` (default) — the integer-id event loop of
+  :mod:`repro.distributed.engine`, which replays the reference event queue
+  tie for tie on flat arrays (no per-message objects, no dict lookups);
+* ``mode="reference"`` — the seed :class:`~repro.distributed.network.Network`
+  simulator, kept as the oracle the property tests compare against.
+
+Both report identical statistics rows — including the first-delivery tree,
+over which the optional **echo** (convergecast acknowledgement) phase is
+accounted.
+
 :func:`compare_broadcast_overlays` packages the comparison for experiment E7.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.distributed.engine import (
+    EchoResult,
+    FloodRun,
+    echo_convergecast,
+    indexed_flood,
+    indexed_overlay,
+)
 from repro.distributed.network import Message, Network, NetworkStatistics
+from repro.graph.indexed_graph import IndexedGraph
 from repro.graph.shortest_paths import single_source_distances
 from repro.graph.weighted_graph import Vertex, WeightedGraph
+
+FloodTree = dict[Vertex, Optional[Vertex]]
 
 
 @dataclass(frozen=True)
@@ -46,6 +69,9 @@ class BroadcastResult:
     stretch_vs_optimal:
         ``max_delivery_delay`` divided by the weighted eccentricity of the
         source in the *full* graph (the fastest physically possible delivery).
+    echo:
+        Cost of acknowledging every delivery back up the flood tree
+        (:class:`~repro.distributed.engine.EchoResult`), when measured.
     """
 
     overlay_name: str
@@ -55,6 +81,7 @@ class BroadcastResult:
     vertices_reached: int
     max_delivery_delay: float
     stretch_vs_optimal: float
+    echo: Optional[EchoResult] = None
 
     def as_row(self) -> dict[str, float]:
         """Return the result as a flat dictionary (one table row)."""
@@ -66,23 +93,25 @@ class BroadcastResult:
             "delay_stretch": self.stretch_vs_optimal,
         }
         row.update(self.statistics.as_row())
+        if self.echo is not None:
+            row["echo_messages"] = float(self.echo.messages)
+            row["echo_cost"] = self.echo.cost
+            row["echo_completion"] = self.echo.completion_time
         return row
 
 
-def flood_broadcast(
-    overlay: WeightedGraph, source: Vertex, *, payload: object = "broadcast"
-) -> tuple[NetworkStatistics, dict[Vertex, float]]:
-    """Flood ``payload`` from ``source`` over ``overlay``.
-
-    Returns the network statistics and the first-delivery time of every
-    reached vertex (the source is delivered at time 0).
-    """
+def _flood_reference(
+    overlay: WeightedGraph, source: Vertex, payload: object
+) -> tuple[NetworkStatistics, dict[Vertex, float], FloodTree]:
+    """The seed event-driven flood; also records the first-delivery tree."""
     delivery_time: dict[Vertex, float] = {source: 0.0}
+    parent: FloodTree = {source: None}
 
     def handler(network: Network, vertex: Vertex, message: Message) -> None:
         if vertex in delivery_time:
             return
         delivery_time[vertex] = network.now
+        parent[vertex] = message.sender
         for neighbour in network.overlay.neighbours(vertex):
             if neighbour != message.sender:
                 network.send(vertex, neighbour, message.payload)
@@ -90,7 +119,100 @@ def flood_broadcast(
     network = Network(overlay, handler)
     network.broadcast_from(source, payload)
     statistics = network.run()
+    return statistics, delivery_time, parent
+
+
+def _flood_indexed(
+    overlay: WeightedGraph, source: Vertex
+) -> tuple[NetworkStatistics, dict[Vertex, float], FloodTree, IndexedGraph, FloodRun]:
+    """The indexed replay of the same flood (see :mod:`repro.distributed.engine`)."""
+    indexed = indexed_overlay(overlay)
+    run = indexed_flood(indexed, indexed.id_of(source))
+    statistics = NetworkStatistics(
+        messages_sent=run.messages,
+        total_communication_cost=run.cost,
+        completion_time=run.completion_time,
+        rounds_processed=run.events,
+    )
+    vertex_of = indexed.vertex_of
+    delivery_time = {
+        vertex_of(vid): time
+        for vid, time in enumerate(run.delivery)
+        if not math.isinf(time)
+    }
+    parent = {
+        vertex_of(vid): (vertex_of(run.parent[vid]) if run.parent[vid] >= 0 else None)
+        for vid in range(len(run.delivery))
+        if not math.isinf(run.delivery[vid])
+    }
+    return statistics, delivery_time, parent, indexed, run
+
+
+def flood_broadcast(
+    overlay: WeightedGraph,
+    source: Vertex,
+    *,
+    payload: object = "broadcast",
+    mode: str = "indexed",
+) -> tuple[NetworkStatistics, dict[Vertex, float]]:
+    """Flood ``payload`` from ``source`` over ``overlay``.
+
+    Returns the network statistics and the first-delivery time of every
+    reached vertex (the source is delivered at time 0).  Both modes return
+    identical values; see the module docstring.
+    """
+    statistics, delivery_time, _ = flood_broadcast_with_tree(
+        overlay, source, payload=payload, mode=mode
+    )
     return statistics, delivery_time
+
+
+def flood_broadcast_with_tree(
+    overlay: WeightedGraph,
+    source: Vertex,
+    *,
+    payload: object = "broadcast",
+    mode: str = "indexed",
+) -> tuple[NetworkStatistics, dict[Vertex, float], FloodTree]:
+    """Flood like :func:`flood_broadcast`, also returning the first-delivery tree.
+
+    The tree maps every reached vertex to the neighbour its first message
+    came from (``None`` for the source); the echo phase is accounted over it.
+    """
+    if mode == "reference":
+        return _flood_reference(overlay, source, payload)
+    if mode != "indexed":
+        raise ValueError(f"unknown broadcast mode {mode!r}; use 'indexed' or 'reference'")
+    statistics, delivery_time, parent, _, _ = _flood_indexed(overlay, source)
+    return statistics, delivery_time, parent
+
+
+def echo_statistics(
+    overlay: WeightedGraph,
+    source: Vertex,
+    delivery_time: dict[Vertex, float],
+    parent: FloodTree,
+) -> EchoResult:
+    """Account the echo (convergecast) phase over a recorded flood tree.
+
+    Mode-independent by construction: the accounting is a pure bottom-up
+    pass over ``(delivery_time, parent)``, which both engines report
+    identically.
+    """
+    indexed = indexed_overlay(overlay)
+    n = indexed.number_of_vertices
+    delivery = [math.inf] * n
+    parents = [-1] * n
+    for vertex, time in delivery_time.items():
+        delivery[indexed.id_of(vertex)] = time
+    for vertex, up in parent.items():
+        if up is not None:
+            parents[indexed.id_of(vertex)] = indexed.id_of(up)
+    run = FloodRun(
+        messages=0, cost=0.0, completion_time=0.0, events=0,
+        delivery=delivery, parent=parents,
+    )
+    return echo_convergecast(indexed, indexed.id_of(source), run)
 
 
 def broadcast_over_overlay(
@@ -99,16 +221,36 @@ def broadcast_over_overlay(
     source: Vertex,
     *,
     name: str = "overlay",
+    mode: str = "indexed",
+    farthest_optimal: Optional[float] = None,
+    measure_echo: bool = True,
 ) -> BroadcastResult:
     """Run a flood broadcast over ``overlay`` and measure it against ``full_graph``.
 
     The delay stretch is measured against the source's weighted eccentricity
     in the full graph — the fastest any overlay could deliver to the farthest
-    vertex.
+    vertex.  ``farthest_optimal`` overrides that eccentricity when the caller
+    already knows it (the overlay bench computes it once per workload, and
+    for metric workloads straight from the metric instead of a Θ(n²)
+    Dijkstra over the lazy complete graph).
     """
-    statistics, delivery_time = flood_broadcast(overlay, source)
-    optimal_distances = single_source_distances(full_graph, source)
-    farthest_optimal = max(optimal_distances.values(), default=0.0)
+    echo: Optional[EchoResult] = None
+    if mode == "indexed":
+        # The indexed flood already built the id mirror and the flat
+        # delivery/parent arrays; feed them straight to the echo accounting
+        # instead of re-deriving both from the vertex-keyed dicts.
+        statistics, delivery_time, _, indexed, run = _flood_indexed(overlay, source)
+        if measure_echo:
+            echo = echo_convergecast(indexed, indexed.id_of(source), run)
+    else:
+        statistics, delivery_time, parent = flood_broadcast_with_tree(
+            overlay, source, mode=mode
+        )
+        if measure_echo:
+            echo = echo_statistics(overlay, source, delivery_time, parent)
+    if farthest_optimal is None:
+        optimal_distances = single_source_distances(full_graph, source)
+        farthest_optimal = max(optimal_distances.values(), default=0.0)
     max_delay = max(delivery_time.values(), default=0.0)
     stretch = max_delay / farthest_optimal if farthest_optimal > 0 else 1.0
     return BroadcastResult(
@@ -119,6 +261,7 @@ def broadcast_over_overlay(
         vertices_reached=len(delivery_time),
         max_delivery_delay=max_delay,
         stretch_vs_optimal=stretch,
+        echo=echo,
     )
 
 
@@ -126,15 +269,16 @@ def compare_broadcast_overlays(
     graph: WeightedGraph,
     overlays: dict[str, WeightedGraph],
     source: Optional[Vertex] = None,
+    *,
+    mode: str = "indexed",
 ) -> list[BroadcastResult]:
     """Broadcast from ``source`` over each overlay and return one result per overlay.
 
     ``overlays`` maps a label to an overlay graph on the same vertex set; the
     full graph itself is usually included under the label ``"graph"``.
     """
-    if source is None:
-        source = next(iter(graph.vertices()))
-    return [
-        broadcast_over_overlay(graph, overlay, source, name=name)
-        for name, overlay in overlays.items()
-    ]
+    from repro.distributed.comparison import compare_overlays
+
+    return compare_overlays(
+        graph, overlays, protocols=("broadcast",), source=source, mode=mode
+    ).broadcast

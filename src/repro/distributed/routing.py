@@ -16,6 +16,24 @@ the measurements that make the motivation concrete:
 * **total routing cost** — the sum of routed path lengths over a set of
   demand pairs.
 
+Two table engines are provided behind the same :class:`RoutingScheme` API:
+
+* ``mode="indexed"`` (default) — the fast path: the overlay is mirrored onto
+  :class:`~repro.graph.indexed_graph.IndexedGraph` integer ids and the
+  next-hop tables are flat ``numpy`` arrays, one row per destination filled
+  by a single :func:`~repro.graph.shortest_paths.indexed_sssp` sweep (whose
+  parent array *is* the row).  Passing ``destinations=`` builds only the
+  requested rows — at bench scale (``n = 10⁴``) the full Θ(n²) table is
+  deliberately not materialized;
+* ``mode="reference"`` — the seed implementation: one dict-based Dijkstra
+  per destination into nested next-hop dicts.  Kept as the oracle the
+  property tests compare the fast path against.
+
+Both modes fail fast on a disconnected overlay with a
+:class:`~repro.errors.DisconnectedGraphError` naming the unreachable vertex
+count — one connectivity sweep up front instead of discovering the hole
+after ``n`` full Dijkstras.
+
 :func:`compare_routing_overlays` runs the same demands over several overlays
 (full graph, MST, greedy spanner, ...), reproducing the trade-off the paper
 describes.
@@ -23,12 +41,17 @@ describes.
 
 from __future__ import annotations
 
+import math
 import random
+import sys
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional, Sequence
+
+import numpy as np
 
 from repro.errors import DisconnectedGraphError
-from repro.graph.shortest_paths import dijkstra, pair_distance
+from repro.distributed.engine import indexed_overlay
+from repro.graph.shortest_paths import dijkstra, indexed_sssp, pair_distance
 from repro.graph.weighted_graph import Vertex, WeightedGraph
 
 
@@ -48,39 +71,119 @@ class Route:
 class RoutingScheme:
     """Next-hop shortest-path routing restricted to an overlay graph.
 
-    The routing tables are built by running Dijkstra from every vertex of the
-    overlay (an ``O(n·(m + n log n))`` preprocessing step) and storing, for
-    every (source, destination) pair, the first hop of a shortest overlay
-    path.  Packets are then forwarded hop by hop using only local table
-    lookups, which is how the scheme would operate in a real network.
+    Packets are forwarded hop by hop using only local table lookups, which is
+    how the scheme would operate in a real network.  See the module
+    docstring for the two table engines (``mode="indexed"`` /
+    ``mode="reference"``); both answer :meth:`next_hop` identically up to
+    shortest-path tie-breaking, and identically in the aggregate statistics
+    the experiments report.
+
+    Parameters
+    ----------
+    overlay:
+        The (connected) overlay graph to route on.
+    mode:
+        Table engine: ``"indexed"`` (flat numpy tables, default) or
+        ``"reference"`` (the seed nested-dict build).
+    destinations:
+        Optional subset of destinations to build table rows for; ``None``
+        builds the full table.  Routing towards a destination outside the
+        subset raises :class:`KeyError`.
     """
 
-    def __init__(self, overlay: WeightedGraph) -> None:
+    def __init__(
+        self,
+        overlay: WeightedGraph,
+        *,
+        mode: str = "indexed",
+        destinations: Optional[Sequence[Vertex]] = None,
+    ) -> None:
+        if mode not in ("indexed", "reference"):
+            raise ValueError(f"unknown routing mode {mode!r}; use 'indexed' or 'reference'")
         self.overlay = overlay
-        self._next_hop: dict[Vertex, dict[Vertex, Vertex]] = {}
-        self._build_tables()
+        self.mode = mode
+        #: Non-stale heap pops spent building the tables (the overlay bench's
+        #: ``overlay_route_settles`` operation count).
+        self.build_settles = 0
+        self._indexed = indexed_overlay(overlay)
+        self._check_connected()
+        if destinations is None:
+            destinations = list(overlay.vertices())
+        else:
+            destinations = list(destinations)
+        self._destinations = destinations
+        if mode == "indexed":
+            self._build_tables_indexed(destinations)
+        else:
+            self._build_tables_reference(destinations)
 
-    def _build_tables(self) -> None:
-        vertices = list(self.overlay.vertices())
-        for destination in vertices:
-            distances, predecessors = dijkstra(self.overlay, destination)
-            if len(distances) != len(vertices):
-                raise DisconnectedGraphError(
-                    "routing tables require a connected overlay"
-                )
-            # predecessors point towards `destination`; the next hop from any
-            # vertex v towards `destination` is exactly predecessors[v].
+    # ------------------------------------------------------------------
+    # Table construction
+    # ------------------------------------------------------------------
+    def _check_connected(self) -> None:
+        """Fail fast on a disconnected overlay, naming the unreachable count.
+
+        One sweep from the first vertex up front; the seed implementation
+        only noticed after running a full Dijkstra per destination.
+        """
+        n = self._indexed.number_of_vertices
+        if n == 0:
+            return
+        distances, _, settles = indexed_sssp(self._indexed, 0)
+        self.build_settles += settles
+        unreachable = sum(1 for distance in distances if math.isinf(distance))
+        if unreachable:
+            raise DisconnectedGraphError(
+                f"routing tables require a connected overlay: {unreachable} of "
+                f"{n} vertices are unreachable from {self._indexed.vertex_of(0)!r}"
+            )
+
+    def _build_tables_indexed(self, destinations: list[Vertex]) -> None:
+        """One :func:`indexed_sssp` sweep per destination; the parent array is the row."""
+        indexed = self._indexed
+        n = indexed.number_of_vertices
+        self._dest_row = {vertex: row for row, vertex in enumerate(destinations)}
+        self._table = np.full((len(destinations), n), -1, dtype=np.int32)
+        for row, destination in enumerate(destinations):
+            _, parents, settles = indexed_sssp(indexed, indexed.id_of(destination))
+            self.build_settles += settles
+            # Parents point towards `destination`, so parent[v] is exactly
+            # the next hop from v — the whole table row in one assignment.
+            self._table[row, :] = parents
+
+    def _build_tables_reference(self, destinations: list[Vertex]) -> None:
+        """The seed build: one dict Dijkstra per destination into nested dicts."""
+        self._next_hop_dicts: dict[Vertex, dict[Vertex, Vertex]] = {}
+        for destination in destinations:
+            _, predecessors = dijkstra(self.overlay, destination)
             for vertex, parent in predecessors.items():
                 if parent is None:
                     continue
-                self._next_hop.setdefault(vertex, {})[destination] = parent
+                self._next_hop_dicts.setdefault(vertex, {})[destination] = parent
 
     # ------------------------------------------------------------------
     # Table statistics
     # ------------------------------------------------------------------
     def table_entries(self, vertex: Vertex) -> int:
-        """Number of next-hop entries stored at ``vertex`` (``n - 1`` when connected)."""
-        return len(self._next_hop.get(vertex, {}))
+        """Number of next-hop entries stored at ``vertex`` (``n - 1`` when full)."""
+        if self.mode == "reference":
+            return len(self._next_hop_dicts.get(vertex, {}))
+        column = self._table[:, self._indexed.id_of(vertex)]
+        return int(np.count_nonzero(column != -1))
+
+    def table_bytes(self) -> int:
+        """Memory footprint of the next-hop tables.
+
+        Exact (``ndarray.nbytes``) for the indexed engine; for the reference
+        engine, the recursive ``sys.getsizeof`` of the nested dicts (keys and
+        values are shared vertex objects, counted once as pointers).
+        """
+        if self.mode == "indexed":
+            return int(self._table.nbytes)
+        total = sys.getsizeof(self._next_hop_dicts)
+        for inner in self._next_hop_dicts.values():
+            total += sys.getsizeof(inner)
+        return total
 
     def port_count(self, vertex: Vertex) -> int:
         """Number of distinct ports (overlay neighbours) at ``vertex``.
@@ -101,7 +204,13 @@ class RoutingScheme:
         """Return the next hop from ``source`` towards ``destination`` (None at the destination)."""
         if source == destination:
             return None
-        return self._next_hop[source][destination]
+        if self.mode == "reference":
+            return self._next_hop_dicts[source][destination]
+        indexed = self._indexed
+        hop = int(self._table[self._dest_row[destination], indexed.id_of(source)])
+        if hop < 0:
+            raise KeyError(destination)
+        return indexed.vertex_of(hop)
 
     def route(self, source: Vertex, destination: Vertex) -> Route:
         """Forward a packet hop by hop and return the realised route."""
@@ -137,6 +246,10 @@ class RoutingReport:
         distance in the full network.
     total_routed_weight:
         Sum of routed path lengths over all demands.
+    stretch_p50, stretch_p90:
+        Median and 90th-percentile route stretch (nearest-rank).
+    table_bytes:
+        Memory footprint of the scheme's next-hop tables.
     """
 
     overlay_name: str
@@ -146,6 +259,9 @@ class RoutingReport:
     max_route_stretch: float
     mean_route_stretch: float
     total_routed_weight: float
+    stretch_p50: float = 1.0
+    stretch_p90: float = 1.0
+    table_bytes: int = 0
 
     def as_row(self) -> dict[str, float]:
         """Return the report as a flat dictionary (one table row)."""
@@ -155,8 +271,19 @@ class RoutingReport:
             "demands": float(self.demands),
             "max_route_stretch": self.max_route_stretch,
             "mean_route_stretch": self.mean_route_stretch,
+            "stretch_p50": self.stretch_p50,
+            "stretch_p90": self.stretch_p90,
             "total_routed_weight": self.total_routed_weight,
+            "table_bytes": float(self.table_bytes),
         }
+
+
+def _nearest_rank(sorted_values: list[float], quantile: float) -> float:
+    """Nearest-rank percentile of an ascending list (1.0 when empty)."""
+    if not sorted_values:
+        return 1.0
+    rank = max(1, math.ceil(quantile * len(sorted_values)))
+    return sorted_values[rank - 1]
 
 
 def evaluate_routing(
@@ -165,25 +292,42 @@ def evaluate_routing(
     demands: list[tuple[Vertex, Vertex]],
     *,
     name: str = "overlay",
+    mode: str = "indexed",
+    scheme: Optional[RoutingScheme] = None,
+    optimal_distance: Optional[Callable[[Vertex, Vertex], float]] = None,
 ) -> RoutingReport:
-    """Route every demand over ``overlay`` and measure stretch against ``full_graph``."""
-    scheme = RoutingScheme(overlay)
+    """Route every demand over ``overlay`` and measure stretch against ``full_graph``.
+
+    ``optimal_distance`` overrides the per-demand shortest-path query in the
+    full graph — the overlay bench passes the metric's direct distance, where
+    a Dijkstra over the lazy complete graph would be Θ(n²) per demand.  A
+    prebuilt ``scheme`` (e.g. one restricted to the demand destinations via
+    ``destinations=``) is used as-is.
+    """
+    if scheme is None:
+        scheme = RoutingScheme(overlay, mode=mode)
+    if optimal_distance is None:
+        optimal_distance = lambda u, v: pair_distance(full_graph, u, v)  # noqa: E731
     stretches: list[float] = []
     total = 0.0
     for source, destination in demands:
         route = scheme.route(source, destination)
         total += route.weight
-        optimal = pair_distance(full_graph, source, destination)
+        optimal = optimal_distance(source, destination)
         if optimal > 0:
             stretches.append(route.weight / optimal)
+    stretches.sort()
     return RoutingReport(
         overlay_name=name,
         overlay_edges=overlay.number_of_edges,
         max_ports=scheme.max_port_count(),
         demands=len(demands),
-        max_route_stretch=max(stretches, default=1.0),
+        max_route_stretch=stretches[-1] if stretches else 1.0,
         mean_route_stretch=(sum(stretches) / len(stretches)) if stretches else 1.0,
         total_routed_weight=total,
+        stretch_p50=_nearest_rank(stretches, 0.50),
+        stretch_p90=_nearest_rank(stretches, 0.90),
+        table_bytes=scheme.table_bytes(),
     )
 
 
@@ -204,10 +348,16 @@ def compare_routing_overlays(
     *,
     demand_count: int = 100,
     seed: Optional[int] = None,
+    mode: str = "indexed",
 ) -> list[RoutingReport]:
     """Route the same random demand set over each overlay and report per overlay."""
-    demands = random_demands(graph, demand_count, seed=seed)
-    return [
-        evaluate_routing(graph, overlay, demands, name=name)
-        for name, overlay in overlays.items()
-    ]
+    from repro.distributed.comparison import compare_overlays
+
+    return compare_overlays(
+        graph,
+        overlays,
+        protocols=("routing",),
+        demand_count=demand_count,
+        seed=seed,
+        mode=mode,
+    ).routing

@@ -17,13 +17,26 @@ overlay) rather than a packet-level simulation — the quantity the paper's
 motivation refers to is exactly this aggregate trade-off, and the broadcast
 simulator of :mod:`repro.distributed.broadcast` already exercises the
 event-driven path.
+
+The only non-trivial quantity is the pulse delay — the overlay's weighted
+diameter.  ``mode="indexed"`` (default) computes it with flat-array sweeps
+(:func:`~repro.graph.shortest_paths.indexed_weighted_diameter`);
+``mode="reference"`` keeps the seed dict-Dijkstra path.  Both produce the
+identical diameter.  At bench scale the exact ``n``-sweep diameter is itself
+the bottleneck, so ``diameter_method="double-sweep"`` substitutes the
+classic two-sweep lower bound (exact on trees).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.graph.shortest_paths import weighted_diameter
+from repro.distributed.engine import indexed_overlay
+from repro.graph.shortest_paths import (
+    indexed_double_sweep_diameter,
+    indexed_weighted_diameter,
+    weighted_diameter,
+)
 from repro.graph.weighted_graph import WeightedGraph
 
 
@@ -41,11 +54,15 @@ class SynchronizerCost:
     communication_per_pulse:
         Total weighted communication per pulse (twice the overlay weight).
     pulse_delay:
-        Time for a pulse to complete: the weighted diameter of the overlay.
+        Time for a pulse to complete: the weighted diameter of the overlay
+        (a lower bound on it with ``diameter_method="double-sweep"``).
     total_cost:
         ``communication_per_pulse · pulses + pulse_delay · pulses`` for the
         requested number of pulses (a simple combined objective used for
         ranking overlays).
+    settles:
+        Vertices settled computing the pulse delay (the overlay bench's
+        ``overlay_sync_settles`` operation count; 0 in reference mode).
     """
 
     overlay_name: str
@@ -53,6 +70,7 @@ class SynchronizerCost:
     communication_per_pulse: float
     pulse_delay: float
     total_cost: float
+    settles: int = 0
 
     def as_row(self) -> dict[str, float]:
         """Return the cost breakdown as a flat dictionary (one table row)."""
@@ -65,28 +83,61 @@ class SynchronizerCost:
 
 
 def synchronizer_cost(
-    overlay: WeightedGraph, *, name: str = "overlay", pulses: int = 1
+    overlay: WeightedGraph,
+    *,
+    name: str = "overlay",
+    pulses: int = 1,
+    mode: str = "indexed",
+    diameter_method: str = "exact",
 ) -> SynchronizerCost:
     """Compute the per-pulse synchronizer cost of running α on ``overlay``."""
     if pulses < 1:
         raise ValueError("pulses must be at least 1")
+    if mode not in ("indexed", "reference"):
+        raise ValueError(f"unknown synchronizer mode {mode!r}; use 'indexed' or 'reference'")
+    if diameter_method not in ("exact", "double-sweep"):
+        raise ValueError(
+            f"unknown diameter method {diameter_method!r}; use 'exact' or 'double-sweep'"
+        )
     messages = 2 * overlay.number_of_edges
     communication = 2.0 * overlay.total_weight()
-    delay = weighted_diameter(overlay)
+    settles = 0
+    if mode == "reference":
+        if diameter_method != "exact":
+            raise ValueError("reference mode only computes the exact diameter")
+        delay = weighted_diameter(overlay)
+    else:
+        indexed = indexed_overlay(overlay)
+        if diameter_method == "exact":
+            delay, settles = indexed_weighted_diameter(indexed)
+        else:
+            delay, settles = indexed_double_sweep_diameter(indexed)
     return SynchronizerCost(
         overlay_name=name,
         messages_per_pulse=messages,
         communication_per_pulse=communication,
         pulse_delay=delay,
         total_cost=pulses * (communication + delay),
+        settles=settles,
     )
 
 
 def compare_synchronizer_overlays(
-    overlays: dict[str, WeightedGraph], *, pulses: int = 10
+    overlays: dict[str, WeightedGraph],
+    *,
+    pulses: int = 10,
+    mode: str = "indexed",
+    diameter_method: str = "exact",
 ) -> list[SynchronizerCost]:
     """Return the synchronizer cost of each overlay, in the given order."""
-    return [
-        synchronizer_cost(overlay, name=name, pulses=pulses)
-        for name, overlay in overlays.items()
-    ]
+    from repro.distributed.comparison import compare_overlays
+
+    comparison = compare_overlays(
+        None,
+        overlays,
+        protocols=("synchronizer",),
+        pulses=pulses,
+        mode=mode,
+        diameter_method=diameter_method,
+    )
+    return comparison.synchronizer

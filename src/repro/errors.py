@@ -70,6 +70,24 @@ class InvalidStretchError(SpannerError, ValueError):
     """A stretch parameter is out of the range accepted by an algorithm."""
 
 
+class UnsupportedWorkloadError(SpannerError, TypeError):
+    """A spanner builder was asked to span a workload kind it does not support.
+
+    Raised by the builder registry (:mod:`repro.spanners.registry`) when e.g.
+    a Euclidean-only construction (Θ-graph, Yao graph) is handed a general
+    graph, or a graph-only construction (Baswana–Sen) is handed a metric.
+    """
+
+    def __init__(self, builder: str, workload: object, supported: str) -> None:
+        super().__init__(
+            f"spanner builder {builder!r} cannot span {workload!r}; "
+            f"it supports {supported}"
+        )
+        self.builder = builder
+        self.workload = workload
+        self.supported = supported
+
+
 class StretchViolationError(SpannerError):
     """A graph claimed to be a t-spanner violates the stretch guarantee.
 

@@ -13,6 +13,7 @@ from repro.experiments.experiments import (
     experiment_general_graphs,
     experiment_lemma3,
     experiment_oracle_matrix,
+    experiment_overlay_matrix,
     experiment_routing,
     run_all_experiments,
 )
@@ -22,6 +23,11 @@ from repro.experiments.oracle_bench import (
     merge_run_into_file,
     run_oracle_matrix,
     workload_key,
+)
+from repro.experiments.overlay_bench import (
+    OVERLAY_PRESETS,
+    geometric_workload,
+    run_overlay_bench,
 )
 
 __all__ = [
@@ -43,6 +49,7 @@ __all__ = [
     "experiment_general_graphs",
     "experiment_lemma3",
     "experiment_oracle_matrix",
+    "experiment_overlay_matrix",
     "experiment_routing",
     "run_all_experiments",
     "euclidean_workload",
@@ -50,4 +57,7 @@ __all__ = [
     "merge_run_into_file",
     "run_oracle_matrix",
     "workload_key",
+    "OVERLAY_PRESETS",
+    "geometric_workload",
+    "run_overlay_bench",
 ]

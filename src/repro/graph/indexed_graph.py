@@ -261,6 +261,29 @@ class IndexedGraph:
         indexed._edge_count = count
         return indexed
 
+    @classmethod
+    def from_incidence_of(cls, graph: WeightedGraph) -> "IndexedGraph":
+        """Build an indexed copy whose per-vertex adjacency *order* mirrors ``graph``.
+
+        :meth:`from_weighted_graph` appends half-edges in ``graph.edges()``
+        order, which interleaves the two endpoints' lists differently from
+        the dict representation's per-vertex neighbour order.  The
+        distributed simulators care about that order — a flooding vertex
+        emits messages to its neighbours in iteration order, and the indexed
+        engine must replicate the reference engine's message sequence
+        exactly, tie for tie — so this constructor copies each vertex's
+        incidence list verbatim instead.
+        """
+        indexed = cls(vertices=graph.vertices())
+        id_of = indexed._id_of
+        append = indexed._append_half_edge
+        for vertex in graph.vertices():
+            vid = id_of[vertex]
+            for neighbour, weight in graph.incident(vertex):
+                append(vid, id_of[neighbour], weight)
+        indexed._edge_count = graph.number_of_edges
+        return indexed
+
     def to_weighted_graph(self) -> WeightedGraph:
         """Materialise the graph back into a :class:`WeightedGraph`."""
         graph = WeightedGraph(vertices=self._vertex_of)

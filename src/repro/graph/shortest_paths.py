@@ -30,7 +30,12 @@ oracles and the cluster graphs (see ``docs/PERFORMANCE.md``):
 * :func:`indexed_greedy_clustering` — greedy ``r``-net centre selection plus
   closest-centre assignment as *one* batched multi-source sweep (the cluster
   graphs' construction kernel; provably identical to one
-  :func:`indexed_ball` per centre, at a fraction of the settles).
+  :func:`indexed_ball` per centre, at a fraction of the settles),
+* :func:`indexed_sssp` / :func:`indexed_eccentricity` /
+  :func:`indexed_weighted_diameter` / :func:`indexed_double_sweep_diameter` —
+  full single-source sweeps with flat distance/parent arrays: the
+  routing-table and synchronizer kernels of the distributed overlay engine
+  (:mod:`repro.distributed`).
 
 All functions treat unreachable vertices as being at distance ``math.inf``.
 """
@@ -377,6 +382,99 @@ def indexed_greedy_clustering(
     # Every id is either absorbed or promoted to a centre during the scan, so
     # `dist` is fully populated: it doubles as the offset array.
     return centres, centre, dist, settles
+
+
+def indexed_sssp(
+    graph: IndexedGraph, source: int
+) -> tuple[list[float], list[int], int]:
+    """Full single-source Dijkstra over an :class:`IndexedGraph`.
+
+    The routing-table kernel of :mod:`repro.distributed.routing`: one call
+    fills one destination's whole next-hop column, so building compact
+    routing tables is ``n`` flat-array sweeps instead of ``n`` dict-based
+    searches.
+
+    Returns ``(dist, parent, settles)`` as flat id-indexed arrays:
+    ``dist[v]`` is ``δ(source, v)`` (``math.inf`` when unreachable),
+    ``parent[v]`` the previous vertex id on a shortest path from ``source``
+    (``-1`` for the source itself and for unreachable vertices), and
+    ``settles`` the number of heap pops *including stale entries* — the
+    search's true work, which unlike the settled-vertex count (always ``n``
+    for a full sweep) varies with the overlay's density and is the
+    operation count the overlay bench gates on.
+    """
+    neighbour_ids, neighbour_weights = graph.adjacency_arrays()
+    n = graph.number_of_vertices
+    inf = math.inf
+    dist: list[float] = [inf] * n
+    parent: list[int] = [-1] * n
+    dist[source] = 0.0
+    settles = 0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    push = heapq.heappush
+    pop = heapq.heappop
+    while heap:
+        d, vertex = pop(heap)
+        settles += 1
+        if d > dist[vertex]:
+            continue  # stale entry superseded by a strict improvement
+        for neighbour, weight in zip(neighbour_ids[vertex], neighbour_weights[vertex]):
+            new_dist = d + weight
+            if new_dist < dist[neighbour]:
+                dist[neighbour] = new_dist
+                parent[neighbour] = vertex
+                push(heap, (new_dist, neighbour))
+    return dist, parent, settles
+
+
+def indexed_eccentricity(graph: IndexedGraph, source: int) -> tuple[float, int]:
+    """Return ``(eccentricity, settles)`` of ``source`` on the indexed fast path.
+
+    The eccentricity is ``math.inf`` when some vertex is unreachable,
+    matching :func:`eccentricity`.
+    """
+    dist, _, settles = indexed_sssp(graph, source)
+    farthest = max(dist, default=0.0)
+    return farthest, settles
+
+
+def indexed_weighted_diameter(graph: IndexedGraph) -> tuple[float, int]:
+    """Exact weighted diameter via ``n`` indexed sweeps.
+
+    Returns ``(diameter, total_settles)``; the diameter is ``math.inf`` for
+    a disconnected graph.  Produces the same float as
+    :func:`weighted_diameter` — Dijkstra's settled distances are the unique
+    fixpoint of the relaxation, independent of heap tie-breaking — at a
+    fraction of the constant factor.
+    """
+    diameter = 0.0
+    total_settles = 0
+    for source in range(graph.number_of_vertices):
+        ecc, settles = indexed_eccentricity(graph, source)
+        total_settles += settles
+        if math.isinf(ecc):
+            return math.inf, total_settles
+        diameter = max(diameter, ecc)
+    return diameter, total_settles
+
+
+def indexed_double_sweep_diameter(graph: IndexedGraph) -> tuple[float, int]:
+    """Double-sweep lower bound on the weighted diameter (two sweeps total).
+
+    Sweep from vertex 0 to find the farthest vertex ``u``, then sweep from
+    ``u``; the second eccentricity is a classic diameter lower bound (exact
+    on trees).  Returns ``(estimate, settles)``; ``math.inf`` when
+    disconnected.  The overlay bench uses this at ``n = 10⁴``, where the
+    exact ``n``-sweep diameter is the only remaining quadratic step.
+    """
+    if graph.number_of_vertices == 0:
+        return 0.0, 0
+    dist, _, settles_first = indexed_sssp(graph, 0)
+    farthest = max(range(len(dist)), key=dist.__getitem__)
+    if math.isinf(dist[farthest]):
+        return math.inf, settles_first
+    ecc, settles_second = indexed_eccentricity(graph, farthest)
+    return ecc, settles_first + settles_second
 
 
 def pair_distance(graph: WeightedGraph, source: Vertex, target: Vertex) -> float:

@@ -1,6 +1,14 @@
 """Baseline spanner constructions: the "any other spanner" side of the comparisons."""
 
 from repro.spanners.baswana_sen import baswana_sen_spanner, expected_size_bound
+from repro.spanners.registry import (
+    SpannerBuilder,
+    build_spanner,
+    builder_names,
+    get_builder,
+    list_builders,
+    register_builder,
+)
 from repro.spanners.bounded_degree import bounded_degree_spanner, theoretical_degree_bound
 from repro.spanners.theta_graph import (
     cones_for_stretch,
@@ -10,6 +18,7 @@ from repro.spanners.theta_graph import (
 from repro.spanners.trivial import (
     complete_metric_spanner,
     identity_spanner,
+    metric_mst_spanner,
     mst_spanner,
     shortest_path_tree_spanner,
 )
@@ -23,8 +32,15 @@ from repro.spanners.wspd import build_split_tree, separation_for_stretch, wspd_p
 from repro.spanners.yao_graph import yao_cones_for_stretch, yao_graph_spanner, yao_graph_stretch
 
 __all__ = [
+    "SpannerBuilder",
+    "build_spanner",
+    "builder_names",
+    "get_builder",
+    "list_builders",
+    "register_builder",
     "baswana_sen_spanner",
     "expected_size_bound",
+    "metric_mst_spanner",
     "bounded_degree_spanner",
     "theoretical_degree_bound",
     "cones_for_stretch",

@@ -79,16 +79,25 @@ def yao_graph_spanner(metric: EuclideanMetric, cones: int) -> Spanner:
         # Assign every other point to a cone index and keep the nearest per cone.
         cone_indices = np.floor((angles + math.pi) / cone_angle).astype(int)
         cone_indices = np.clip(cone_indices, 0, cones - 1)
-        nearest_per_cone: dict[int, tuple[float, int]] = {}
-        for q in range(n):
-            if q == p or distances[q] == 0.0:
-                continue
-            cone = int(cone_indices[q])
-            if cone not in nearest_per_cone or distances[q] < nearest_per_cone[cone][0]:
-                nearest_per_cone[cone] = (float(distances[q]), q)
-        for distance, q in nearest_per_cone.values():
+        # Nearest point per cone, vectorized: sort candidates by
+        # (cone, distance, index) and keep each cone's first entry.  The
+        # index tie-break reproduces the scan order of the scalar loop this
+        # replaces (first-seen wins on exact distance ties), so the graph is
+        # unchanged while the per-point cost drops to one lexsort.
+        candidates = np.nonzero(distances > 0.0)[0]
+        candidates = candidates[candidates != p]
+        if candidates.size == 0:
+            continue
+        order = np.lexsort(
+            (candidates, distances[candidates], cone_indices[candidates])
+        )
+        sorted_cones = cone_indices[candidates][order]
+        first_in_cone = np.ones(order.size, dtype=bool)
+        first_in_cone[1:] = sorted_cones[1:] != sorted_cones[:-1]
+        for q in candidates[order[first_in_cone]]:
+            q = int(q)
             if not subgraph.has_edge(p, q):
-                subgraph.add_edge(p, q, distance)
+                subgraph.add_edge(p, q, float(distances[q]))
 
     return Spanner(
         base=base,

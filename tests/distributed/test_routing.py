@@ -113,5 +113,8 @@ class TestEvaluation:
             "demands",
             "max_route_stretch",
             "mean_route_stretch",
+            "stretch_p50",
+            "stretch_p90",
             "total_routed_weight",
+            "table_bytes",
         }

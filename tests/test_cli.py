@@ -136,3 +136,65 @@ class TestCommands:
              "--strategies", "cached", "--no-memory", "--output", str(out)]
         ) == 0
         assert "clustered-euclidean-n30" in capsys.readouterr().out
+
+    def test_list_builders(self, capsys):
+        assert main(["list-builders"]) == 0
+        output = capsys.readouterr().out
+        for name in ("greedy", "theta", "baswana-sen", "mst"):
+            assert name in output
+
+    def test_spanner_with_builder(self, capsys):
+        assert main(["spanner", "uniform-2d-small", "--builder", "theta",
+                     "--stretch", "1.5"]) == 0
+        assert "theta 1.5-spanner" in capsys.readouterr().out
+
+    def test_spanner_rejects_builder_workload_mismatch(self, capsys):
+        assert main(["spanner", "grid-graph", "--builder", "theta"]) == 2
+        assert "cannot span" in capsys.readouterr().out
+
+    def test_bench_overlays_writes_trajectory(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "BENCH_overlays.json"
+        assert main(
+            ["bench-overlays", "--n", "40", "--radius", "0.3",
+             "--builders", "greedy,mst", "--demands", "10", "--output", str(out)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "overlay matrix: geometric-n40" in output
+        assert out.exists()
+        run = json.loads(out.read_text())["runs"]["geometric-n40-r0.3-seed7-t1.5"]
+        assert set(run["strategies"]) == {"greedy", "mst"}
+        for record in run["strategies"].values():
+            assert record["overlay_route_settles"] > 0
+            assert record["overlay_sync_settles"] > 0
+
+    def test_bench_overlays_euclidean_kind(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_overlays.json"
+        assert main(
+            ["bench-overlays", "--kind", "euclidean", "--n", "40",
+             "--builders", "theta,yao,mst", "--demands", "10", "--output", str(out)]
+        ) == 0
+        assert "uniform-euclidean-n40" in capsys.readouterr().out
+
+    def test_bench_overlays_rejects_unknown_builder(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_overlays.json"
+        assert main(
+            ["bench-overlays", "--builders", "warp-drive", "--output", str(out)]
+        ) == 2
+        assert "unknown spanner builders" in capsys.readouterr().out
+
+    def test_bench_overlays_rejects_builder_workload_mismatch(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_overlays.json"
+        assert main(
+            ["bench-overlays", "--kind", "graph", "--n", "30",
+             "--builders", "theta", "--output", str(out)]
+        ) == 2
+        assert "cannot bench" in capsys.readouterr().out
+
+    def test_bench_overlays_rejects_unknown_workload_key(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_overlays.json"
+        assert main(
+            ["bench-overlays", "--workloads", "no-such-row", "--output", str(out)]
+        ) == 2
+        assert "unknown overlay workloads" in capsys.readouterr().out
