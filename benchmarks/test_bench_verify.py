@@ -1,0 +1,106 @@
+"""E12 — the batch verification matrix.
+
+Benchmarks the CI-sized verification rows (geometric n=300 with the greedy
+builder, uniform n=150 with theta — the two dual-mode cross-check rows),
+asserts the engine-vs-reference contract (identical verdicts, bit-identical
+profile floats, a real speedup on the metric row), and — under the
+``bench_regression`` marker — emits a fresh ``BENCH_verify.json`` run and
+diffs its deterministic ``verify_settles`` / ``profile_settles`` operation
+counts against the committed baseline in ``benchmarks/BENCH_verify.json``
+via ``scripts/check_bench_regression.py`` (threshold +25%).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.experiments import experiment_verify_matrix
+from repro.experiments.oracle_bench import euclidean_workload
+from repro.experiments.overlay_bench import geometric_workload
+from repro.experiments.verify_bench import (
+    VERIFY_PRESETS,
+    merge_run_into_file,
+    run_verify_bench,
+    verify_workload,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "benchmarks" / "BENCH_verify.json"
+
+GEOMETRIC_BENCH = verify_workload(geometric_workload(n=300), "greedy")
+EUCLIDEAN_BENCH = verify_workload(euclidean_workload(n=150, stretch=1.5), "theta")
+
+
+@pytest.fixture(scope="module")
+def geometric_run():
+    return run_verify_bench(GEOMETRIC_BENCH)
+
+
+@pytest.fixture(scope="module")
+def euclidean_run():
+    return run_verify_bench(EUCLIDEAN_BENCH)
+
+
+def test_bench_verify_matrix_geometric(benchmark, experiment_report_collector):
+    """Time the graph-workload verification row and collect the E12 table."""
+    run = benchmark.pedantic(
+        run_verify_bench, args=(GEOMETRIC_BENCH,), rounds=1, iterations=1
+    )
+    assert set(run["strategies"]) == {"indexed", "reference"}
+    experiment_report_collector(experiment_verify_matrix(n=150).render())
+
+
+def test_bench_verify_cross_checks(geometric_run, euclidean_run):
+    """Both dual-mode rows: verdicts agree, profile floats are bit-identical."""
+    for run in (geometric_run, euclidean_run):
+        assert run["verdicts_match"] is True
+        assert run["profiles_match"] is True
+        for record in run["strategies"].values():
+            assert record["verify_ok"] == 1.0
+            assert record["sampled_ok"] == 1.0
+
+
+def test_bench_verify_metric_row_speedup(euclidean_run):
+    """The metric row is where the per-pair reference collapses: the batch
+    engine must beat it by an order of magnitude even at n=150."""
+    assert euclidean_run["speedup_vs_reference"] >= 10.0
+    indexed = euclidean_run["strategies"]["indexed"]
+    reference = euclidean_run["strategies"]["reference"]
+    assert indexed["verify_settles"] < reference["verify_settles"] / 5
+
+
+def test_verify_presets_include_the_scale_row():
+    """The committed matrix must carry the exact n=10^4 edge-verification row."""
+    key = "geometric-n10000-r0.025-seed7-t3.0-bbaswana-sen"
+    assert key in VERIFY_PRESETS
+    workload, modes, profile_sources = VERIFY_PRESETS[key]
+    assert modes == ("indexed",)
+    assert int(workload["n"]) == 10_000
+    assert profile_sources is not None
+
+
+@pytest.mark.bench_regression
+def test_bench_no_verify_operation_count_regression(
+    geometric_run, euclidean_run, tmp_path
+):
+    """Fresh verify/profile settle counts must stay within +25% of baseline."""
+    sys.path.insert(0, str(REPO_ROOT / "scripts"))
+    try:
+        from check_bench_regression import find_regressions, load_document
+    finally:
+        sys.path.pop(0)
+
+    fresh_path = tmp_path / "BENCH_verify.json"
+    merge_run_into_file(fresh_path, geometric_run)
+    merge_run_into_file(fresh_path, euclidean_run)
+
+    assert BASELINE_PATH.exists(), (
+        "committed verification baseline missing; regenerate with "
+        "`repro bench-verify --workloads all "
+        "--output benchmarks/BENCH_verify.json` (see docs/PERFORMANCE.md)"
+    )
+    problems = find_regressions(load_document(BASELINE_PATH), load_document(fresh_path))
+    assert not problems, "\n".join(problems)

@@ -10,9 +10,15 @@ hot path genuinely got slower, not that CI got a noisy neighbour.
 
 The overlay benchmark (``repro bench-overlays``) emits the same document
 shape with ``overlay_*`` counters (heap pops of the routing-table,
-broadcast and synchronizer engines), so one checker gates both
-trajectories: pass ``--fresh-overlays`` / ``--baseline-overlays`` to diff
-the overlay pair in the same invocation.
+broadcast and synchronizer engines), and the verification benchmark
+(``repro bench-verify``) with ``verify_settles`` / ``profile_settles``
+(bounded-ball and SSSP settles of the batch verification engine), so one
+checker gates all three trajectories: pass ``--fresh-overlays`` /
+``--baseline-overlays`` and/or ``--fresh-verify`` / ``--baseline-verify``
+to diff the extra pairs in the same invocation.  A verification run whose
+cross-check flags (``verdicts_match`` / ``profiles_match`` — the indexed
+engine reproducing the reference verdicts and bit-identical profile
+floats) are false always fails the gate.
 
 Usage (standalone)::
 
@@ -21,6 +27,8 @@ Usage (standalone)::
         --baseline benchmarks/BENCH_oracles.json \
         --fresh-overlays BENCH_overlays.json \
         --baseline-overlays benchmarks/BENCH_overlays.json \
+        --fresh-verify BENCH_verify.json \
+        --baseline-verify benchmarks/BENCH_verify.json \
         --threshold 0.25
 
 Exit code 1 if any strategy's operation count regressed by more than the
@@ -41,10 +49,12 @@ DEFAULT_THRESHOLD = 0.25
 
 #: Deterministic counters compared per strategy (mirrors
 #: ``repro.experiments.oracle_bench.OPERATION_COUNT_KEYS`` plus
-#: ``repro.experiments.overlay_bench.OPERATION_COUNT_KEYS``; duplicated here
+#: ``repro.experiments.overlay_bench.OPERATION_COUNT_KEYS`` plus
+#: ``repro.experiments.verify_bench.OPERATION_COUNT_KEYS``; duplicated here
 #: so the script runs without PYTHONPATH set up).  The ``cluster_*`` /
-#: ``approximate_queries`` counters gate the Approximate-Greedy rows and the
-#: ``overlay_*`` counters the distributed overlay engine rows
+#: ``approximate_queries`` counters gate the Approximate-Greedy rows, the
+#: ``overlay_*`` counters the distributed overlay engine rows, and
+#: ``verify_settles`` / ``profile_settles`` the batch verification rows
 #: (op counts only — never wall-clock).
 OPERATION_COUNT_KEYS = (
     "dijkstra_settles",
@@ -58,7 +68,13 @@ OPERATION_COUNT_KEYS = (
     "overlay_broadcast_events",
     "overlay_route_settles",
     "overlay_sync_settles",
+    "verify_settles",
+    "profile_settles",
 )
+
+#: Boolean cross-check flags a fresh run must not record as false
+#: (``identical_edge_sets`` and friends are handled explicitly below).
+CROSS_CHECK_FLAGS = ("verdicts_match", "profiles_match")
 
 
 def load_document(path: str | Path) -> dict:
@@ -92,6 +108,12 @@ def find_regressions(
                 f"{key}: incremental and from-scratch approx-greedy engines "
                 "produced different edge sets"
             )
+        for flag in CROSS_CHECK_FLAGS:
+            if not fresh_run.get(flag, True):
+                problems.append(
+                    f"{key}: {flag} is false — the indexed verification engine "
+                    "diverged from the reference mode"
+                )
         base_strategies = baseline_runs[key].get("strategies", {})
         fresh_strategies = fresh_run.get("strategies", {})
         for name in sorted(set(base_strategies) & set(fresh_strategies)):
@@ -138,6 +160,16 @@ def main(argv: list[str] | None = None) -> int:
         help="committed overlay baseline trajectory",
     )
     parser.add_argument(
+        "--fresh-verify",
+        default=None,
+        help="freshly emitted verification trajectory (BENCH_verify.json); optional",
+    )
+    parser.add_argument(
+        "--baseline-verify",
+        default="benchmarks/BENCH_verify.json",
+        help="committed verification baseline trajectory",
+    )
+    parser.add_argument(
         "--threshold",
         type=float,
         default=DEFAULT_THRESHOLD,
@@ -148,6 +180,8 @@ def main(argv: list[str] | None = None) -> int:
     pairs = [("oracles", args.baseline, args.fresh)]
     if args.fresh_overlays is not None:
         pairs.append(("overlays", args.baseline_overlays, args.fresh_overlays))
+    if args.fresh_verify is not None:
+        pairs.append(("verify", args.baseline_verify, args.fresh_verify))
 
     problems: list[str] = []
     for label, baseline_path, fresh_path in pairs:

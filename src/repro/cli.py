@@ -5,7 +5,7 @@ Entry points (also usable as ``python -m repro.cli <command>``):
 * ``list-workloads`` — print the workload registry.
 * ``list-builders`` — print the spanner-builder registry.
 * ``figure1`` — reproduce the paper's Figure 1 example.
-* ``experiment <id>`` — run one experiment from DESIGN.md's index (E1–E11)
+* ``experiment <id>`` — run one experiment from DESIGN.md's index (E1–E12)
   and print its table.  ``--quick`` shrinks the workloads.
 * ``compare`` — run the Euclidean construction comparison on a chosen
   workload size and stretch.
@@ -24,6 +24,13 @@ Entry points (also usable as ``python -m repro.cli <command>``):
   per-builder table and merge the rows (wall clock plus the deterministic
   ``overlay_*`` operation counts) into a ``BENCH_overlays.json`` trajectory
   gated by ``scripts/check_bench_regression.py``.
+* ``bench-verify`` — run exact edge verification and the exact stretch
+  profile over a registry-built spanner once per engine mode (the indexed
+  batch engine vs the seed per-pair reference), optionally sharded across
+  worker processes (``--workers``), print the per-mode table with the
+  bit-identical cross-check verdicts and merge the deterministic
+  ``verify_settles`` / ``profile_settles`` counters into a
+  ``BENCH_verify.json`` trajectory gated by the same regression script.
 
 The CLI exists so the repository can be exercised without writing Python —
 e.g. ``python -m repro.cli experiment E3``.
@@ -54,6 +61,7 @@ _EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "E9": exp.experiment_routing,
     "E10": exp.experiment_oracle_matrix,
     "E11": exp.experiment_overlay_matrix,
+    "E12": exp.experiment_verify_matrix,
 }
 
 _QUICK_ARGUMENTS: dict[str, dict[str, object]] = {
@@ -68,6 +76,7 @@ _QUICK_ARGUMENTS: dict[str, dict[str, object]] = {
     "E9": {"n": 50, "demand_count": 40},
     "E10": {"n": 60},
     "E11": {"n": 60},
+    "E12": {"n": 60},
 }
 
 
@@ -327,6 +336,106 @@ def _command_bench_overlays(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench_verify(args: argparse.Namespace) -> int:
+    from repro.errors import UnsupportedWorkloadError
+    from repro.experiments.oracle_bench import (
+        clustered_workload,
+        euclidean_workload,
+        graph_workload,
+        grid_workload,
+    )
+    from repro.experiments.overlay_bench import geometric_workload
+    from repro.experiments.verify_bench import (
+        DEFAULT_MODES,
+        VERIFY_PRESETS,
+        merge_run_into_file,
+        render_rows,
+        run_verify_bench,
+        verify_workload,
+        workload_key,
+    )
+
+    modes: Optional[tuple[str, ...]] = None
+    if args.modes is not None:
+        modes = tuple(name.strip() for name in args.modes.split(",") if name.strip())
+        unknown = [name for name in modes if name not in DEFAULT_MODES]
+        if not modes or unknown:
+            print(
+                f"unknown verification modes: {', '.join(unknown) or '(none given)'}; "
+                f"valid names: {', '.join(DEFAULT_MODES)}"
+            )
+            return 2
+
+    # Assemble (workload, modes, profile_sources) rows: named preset rows
+    # (--workloads) or one ad-hoc workload from the flags — the same shape
+    # as bench-oracles / bench-overlays.
+    rows: list[tuple[dict[str, object], tuple[str, ...], Optional[int]]] = []
+    if args.workloads:
+        requested = [key.strip() for key in args.workloads.split(",") if key.strip()]
+        if requested == ["all"]:
+            requested = list(VERIFY_PRESETS)
+        unknown_keys = [key for key in requested if key not in VERIFY_PRESETS]
+        if not requested or unknown_keys:
+            print(
+                f"unknown verify workloads: {', '.join(unknown_keys) or '(none given)'}; "
+                "valid keys (or 'all'):"
+            )
+            for key in VERIFY_PRESETS:
+                print(f"  {key}")
+            return 2
+        for key in requested:
+            workload, default_modes, default_sources = VERIFY_PRESETS[key]
+            rows.append((
+                workload,
+                modes or default_modes,
+                args.profile_sources if args.profile_sources is not None else default_sources,
+            ))
+    else:
+        if args.kind == "euclidean":
+            base = euclidean_workload(n=args.n, dim=args.dim, seed=args.seed, stretch=args.stretch)
+        elif args.kind == "clustered":
+            base = clustered_workload(
+                n=args.n, dim=args.dim, clusters=args.clusters,
+                seed=args.seed, stretch=args.stretch,
+            )
+        elif args.kind == "grid":
+            base = grid_workload(side=args.side, dim=args.dim, stretch=args.stretch)
+        elif args.kind == "graph":
+            base = graph_workload(n=args.n, p=args.p, seed=args.seed, stretch=args.stretch)
+        else:
+            base = geometric_workload(
+                n=args.n, radius=args.radius, seed=args.seed, stretch=args.stretch
+            )
+        rows.append((
+            verify_workload(base, args.builder),
+            modes or DEFAULT_MODES,
+            args.profile_sources,
+        ))
+
+    all_consistent = True
+    for workload, row_modes, profile_sources in rows:
+        try:
+            run = run_verify_bench(
+                workload,
+                modes=row_modes,
+                workers=args.workers,
+                profile_sources=profile_sources,
+            )
+        except UnsupportedWorkloadError as error:
+            print(f"cannot bench {workload_key(workload)}: {error}")
+            return 2
+        merge_run_into_file(args.output, run)
+        print(render_table(render_rows(run), title=f"verify matrix: {workload_key(workload)}"))
+        if "speedup_vs_reference" in run:
+            print(f"speedup vs reference: {run['speedup_vs_reference']:.2f}x")
+        for flag in ("verdicts_match", "profiles_match"):
+            if flag in run:
+                print(f"{flag}: {run[flag]}")
+                all_consistent = all_consistent and bool(run[flag])
+    print(f"trajectory written to {args.output}")
+    return 0 if all_consistent else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed separately for testing)."""
     parser = argparse.ArgumentParser(
@@ -349,7 +458,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure1_parser.add_argument("--stretch", type=float, default=3.0)
     figure1_parser.set_defaults(handler=_command_figure1)
 
-    experiment_parser = subparsers.add_parser("experiment", help="run one experiment (E1-E10)")
+    experiment_parser = subparsers.add_parser("experiment", help="run one experiment (E1-E12)")
     experiment_parser.add_argument("id", help="experiment id, e.g. E3")
     experiment_parser.add_argument("--quick", action="store_true", help="use reduced workloads")
     experiment_parser.set_defaults(handler=_command_experiment)
@@ -498,6 +607,90 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default="BENCH_overlays.json", help="JSON trajectory file to merge into"
     )
     overlay_parser.set_defaults(handler=_command_bench_overlays)
+
+    verify_parser = subparsers.add_parser(
+        "bench-verify",
+        help=(
+            "benchmark the batch verification engine (exact edge checks + "
+            "stretch profile per mode) and emit BENCH_verify.json"
+        ),
+    )
+    verify_parser.add_argument(
+        "--kind",
+        choices=["geometric", "euclidean", "clustered", "grid", "graph"],
+        default="geometric",
+        help=(
+            "ad-hoc workload family: random geometric (wireless) graph, "
+            "uniform / clustered-Gaussian / grid Euclidean points or an "
+            "Erdős–Rényi graph"
+        ),
+    )
+    verify_parser.add_argument("--n", type=int, default=300, help="number of points / vertices")
+    verify_parser.add_argument(
+        "--radius", type=float, default=0.12, help="connection radius (geometric only)"
+    )
+    verify_parser.add_argument(
+        "--dim", type=int, default=2, help="dimension (euclidean/clustered/grid)"
+    )
+    verify_parser.add_argument(
+        "--clusters", type=int, default=50, help="number of Gaussian clusters (clustered only)"
+    )
+    verify_parser.add_argument(
+        "--side", type=int, default=100, help="grid side length (grid only; n = side**dim)"
+    )
+    verify_parser.add_argument(
+        "--p", type=float, default=0.15, help="edge probability (graph only)"
+    )
+    verify_parser.add_argument("--seed", type=int, default=7)
+    verify_parser.add_argument("--stretch", type=float, default=1.5)
+    verify_parser.add_argument(
+        "--builder",
+        choices=builder_names(),
+        default="greedy",
+        help="registry builder whose spanner gets verified (see list-builders)",
+    )
+    verify_parser.add_argument(
+        "--modes",
+        default=None,
+        help=(
+            "comma-separated engine modes to bench (indexed, reference); "
+            "defaults to both for ad-hoc workloads and to each preset row's "
+            "recorded modes with --workloads"
+        ),
+    )
+    verify_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for the indexed mode's sharded source fan-out "
+            "(default 1 = inline; -1 = all CPUs; merged counters are "
+            "identical for any worker count)"
+        ),
+    )
+    verify_parser.add_argument(
+        "--profile-sources",
+        type=int,
+        default=None,
+        help=(
+            "restrict the exact stretch profile to this many evenly-strided "
+            "sources (default: all vertices, or each preset row's recorded "
+            "shard with --workloads)"
+        ),
+    )
+    verify_parser.add_argument(
+        "--workloads",
+        default=None,
+        help=(
+            "comma-separated verify preset keys (or 'all') to (re)run named "
+            "matrix rows instead of an ad-hoc workload; see the keys in "
+            "benchmarks/BENCH_verify.json"
+        ),
+    )
+    verify_parser.add_argument(
+        "--output", default="BENCH_verify.json", help="JSON trajectory file to merge into"
+    )
+    verify_parser.set_defaults(handler=_command_bench_verify)
 
     return parser
 

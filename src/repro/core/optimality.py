@@ -35,7 +35,7 @@ from repro.core.greedy import greedy_spanner, greedy_spanner_of_metric
 from repro.core.spanner import Spanner
 from repro.errors import SpannerError
 from repro.graph.generators import figure1_instance
-from repro.graph.mst import kruskal_mst, mst_weight
+from repro.graph.mst import kruskal_mst, mst_weight_indexed
 from repro.graph.shortest_paths import pair_distance, shortest_path
 from repro.graph.weighted_graph import WeightedGraph
 from repro.metric.base import FiniteMetric
@@ -71,20 +71,29 @@ def greedy_is_fixed_point(spanner: Spanner) -> bool:
     return rerun.subgraph.same_edges(spanner.subgraph)
 
 
-def is_t_spanner_of(candidate: WeightedGraph, base: WeightedGraph, t: float, *, tolerance: float = 1e-9) -> bool:
+def is_t_spanner_of(
+    candidate: WeightedGraph,
+    base: WeightedGraph,
+    t: float,
+    *,
+    tolerance: float = 1e-9,
+    mode: str = "indexed",
+) -> bool:
     """Return True if ``candidate`` (a subgraph of ``base``) is a ``t``-spanner of ``base``.
 
     Checked edge-by-edge, which suffices by the standard argument of
-    Section 2.
+    Section 2 — via the batch verification engine of
+    :mod:`repro.spanners.verification` (one cutoff-bounded search per
+    distinct edge source); ``mode="reference"`` keeps the seed per-edge
+    dict Dijkstra.
     """
-    for u, v, weight in base.edges():
-        if pair_distance(candidate, u, v) > t * weight * (1.0 + tolerance):
-            return False
-    return True
+    from repro.spanners.verification import verify_spanner_edges
+
+    return verify_spanner_edges(candidate, base, t, tolerance=tolerance, mode=mode)
 
 
 def verify_lemma3_self_spanner(
-    spanner: Spanner, *, max_edges_to_try: int | None = None
+    spanner: Spanner, *, max_edges_to_try: int | None = None, mode: str = "indexed"
 ) -> bool:
     """Exhaustively check Lemma 3 on a concrete greedy spanner.
 
@@ -94,18 +103,40 @@ def verify_lemma3_self_spanner(
     ``e`` is a subgraph of ``H - e`` and spans at most as well, so checking the
     single-edge removals covers every possible strict subgraph.)
 
-    ``max_edges_to_try`` limits the number of removals for large spanners.
+    The indexed mode translates ``H`` once and runs one cutoff-bounded
+    search per edge that simply skips relaxing the removed edge
+    (:func:`~repro.graph.shortest_paths.indexed_cutoff_excluding_edge`) —
+    equivalent to searching ``H - e``, without the per-edge O(m) copy the
+    reference mode pays.  ``max_edges_to_try`` limits the number of removals
+    for large spanners.
     """
+    from repro.spanners.verification import check_mode
+
+    check_mode(mode)
     t = spanner.stretch
     edges = list(spanner.subgraph.edges())
     if max_edges_to_try is not None:
         edges = edges[:max_edges_to_try]
+    if mode == "indexed":
+        from repro.graph.indexed_graph import IndexedGraph
+        from repro.graph.shortest_paths import indexed_cutoff_excluding_edge
+
+        indexed = IndexedGraph.from_weighted_graph(spanner.subgraph)
+        for u, v, weight in edges:
+            uid, vid = indexed.id_of(u), indexed.id_of(v)
+            cutoff = t * weight * (1.0 + 1e-12)
+            distance, _ = indexed_cutoff_excluding_edge(
+                indexed, uid, vid, cutoff, excluded=(uid, vid)
+            )
+            if distance <= cutoff:
+                # Removing e left a within-stretch path, so H - e would be a
+                # t-spanner of H, contradicting Lemma 3.
+                return False
+        return True
     for u, v, weight in edges:
         pruned = spanner.subgraph.copy()
         pruned.remove_edge(u, v)
         if pair_distance(pruned, u, v) <= t * weight * (1.0 + 1e-12):
-            # Removing e left a within-stretch path, so H - e would be a
-            # t-spanner of H, contradicting Lemma 3.
             return False
     return True
 
@@ -118,20 +149,21 @@ def verify_observation6(graph: WeightedGraph, *, tolerance: float = 1e-9) -> boo
 
     Observation 6 states any MST of ``M_G`` is a spanning tree of ``G`` (and
     therefore the two share a common MST); the measurable consequence is that
-    the MST weights coincide, which is what the experiments rely on.
+    the MST weights coincide, which is what the experiments rely on.  The
+    graph side runs on the indexed-Prim fast path; the metric closure keeps
+    its dense-Prim dispatch.
     """
     metric = GraphMetric(graph)
     metric_graph = MetricClosure(metric)
-    return abs(mst_weight(graph) - mst_weight(metric_graph)) <= tolerance * max(
-        1.0, mst_weight(graph)
-    )
+    graph_mst = mst_weight_indexed(graph)
+    return abs(graph_mst - mst_weight_indexed(metric_graph)) <= tolerance * max(1.0, graph_mst)
 
 
 def verify_observation12(
     base: WeightedGraph, spanner_graph: WeightedGraph, t: float, *, tolerance: float = 1e-9
 ) -> bool:
     """Check Observation 12: ``w(MST(H')) ≤ t · w(MST(H))`` for a ``t``-spanner ``H'`` of ``H``."""
-    return mst_weight(spanner_graph) <= t * mst_weight(base) * (1.0 + tolerance)
+    return mst_weight_indexed(spanner_graph) <= t * mst_weight_indexed(base) * (1.0 + tolerance)
 
 
 # ---------------------------------------------------------------------------
@@ -235,7 +267,7 @@ def existential_optimality_certificate(
     """
     greedy = greedy_spanner(graph, t)
     competitor = greedy_spanner(greedy.subgraph, t)
-    shared_mst = mst_weight(graph)
+    shared_mst = mst_weight_indexed(graph)
     greedy_weight = greedy.weight
     competitor_weight = competitor.weight
     return OptimalityCertificate(
@@ -262,7 +294,7 @@ def metric_optimality_certificate(
     """
     greedy = greedy_spanner_of_metric(metric, t)
     competitor_graph = build_metric_spanner_of_greedy(greedy, t)
-    base_mst = mst_weight(greedy.base)
+    base_mst = mst_weight_indexed(greedy.base)
     greedy_weight = greedy.weight
     competitor_weight = competitor_graph.total_weight()
     return OptimalityCertificate(

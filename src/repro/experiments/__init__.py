@@ -1,6 +1,13 @@
 """Experiment harness: workloads, runners and the per-claim experiments of DESIGN.md."""
 
-from repro.experiments.harness import ExperimentResult, Stopwatch, timed
+from repro.experiments.harness import (
+    ExperimentResult,
+    Stopwatch,
+    deterministic_shards,
+    merge_counters,
+    run_sharded,
+    timed,
+)
 from repro.experiments.reporting import render_comparison, render_table
 from repro.experiments.workloads import WorkloadSpec, get_workload, list_workloads, register
 from repro.experiments.experiments import (
@@ -15,6 +22,7 @@ from repro.experiments.experiments import (
     experiment_oracle_matrix,
     experiment_overlay_matrix,
     experiment_routing,
+    experiment_verify_matrix,
     run_all_experiments,
 )
 from repro.experiments.oracle_bench import (
@@ -29,11 +37,19 @@ from repro.experiments.overlay_bench import (
     geometric_workload,
     run_overlay_bench,
 )
+from repro.experiments.verify_bench import (
+    VERIFY_PRESETS,
+    run_verify_bench,
+    verify_workload,
+)
 
 __all__ = [
     "ExperimentResult",
     "Stopwatch",
     "timed",
+    "deterministic_shards",
+    "merge_counters",
+    "run_sharded",
     "render_comparison",
     "render_table",
     "WorkloadSpec",
@@ -51,6 +67,7 @@ __all__ = [
     "experiment_oracle_matrix",
     "experiment_overlay_matrix",
     "experiment_routing",
+    "experiment_verify_matrix",
     "run_all_experiments",
     "euclidean_workload",
     "graph_workload",
@@ -60,4 +77,7 @@ __all__ = [
     "OVERLAY_PRESETS",
     "geometric_workload",
     "run_overlay_bench",
+    "VERIFY_PRESETS",
+    "run_verify_bench",
+    "verify_workload",
 ]

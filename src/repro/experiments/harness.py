@@ -1,4 +1,4 @@
-"""Experiment harness: result records and timing helpers.
+"""Experiment harness: result records, timing helpers and the sharded executor.
 
 Every experiment in :mod:`repro.experiments.experiments` returns an
 :class:`ExperimentResult` — the experiment id from DESIGN.md's index, the
@@ -6,17 +6,31 @@ rows of the regenerated table, and free-text notes recording the paper claim
 the rows should be compared against.  Benchmarks print the rendered table so
 that ``pytest benchmarks/ --benchmark-only`` output doubles as the data for
 EXPERIMENTS.md.
+
+The sharded executor (:func:`run_sharded` with :func:`deterministic_shards`
+and :func:`merge_counters`) is the ``multiprocessing`` fan-out behind the
+batch verification engine and ``repro bench-verify --workers``: work items
+are split into contiguous, order-preserving shards, each shard is processed
+by one worker process, and the per-shard results come back in shard order —
+so any reduction that is a function of the *sequence* of per-item results
+(summed operation counters, ``fsum``-folded profile rows) is identical for
+one worker and for N, which is what the determinism property tests pin down.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import time
 import tracemalloc
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Optional
+from typing import Callable, Iterable, Iterator, Mapping, Optional, Sequence, TypeVar
 
 from repro.experiments.reporting import render_table
+
+T = TypeVar("T")
+R = TypeVar("R")
 
 
 @dataclass
@@ -167,6 +181,104 @@ def timed(
             yield result
         finally:
             result.elapsed_seconds = time.perf_counter() - start
+
+
+# ---------------------------------------------------------------------------
+# Sharded parallel executor
+# ---------------------------------------------------------------------------
+def available_workers() -> int:
+    """Return the number of CPUs the scheduler will actually give us."""
+    affinity = getattr(os, "sched_getaffinity", None)
+    if affinity is not None:
+        try:
+            return max(1, len(affinity(0)))
+        except OSError:  # pragma: no cover - platform quirk
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+def resolve_worker_count(workers: Optional[int]) -> int:
+    """Normalise a ``--workers`` value: ``None``/``0`` → 1, negative → all CPUs."""
+    if workers is None or workers == 0:
+        return 1
+    if workers < 0:
+        return available_workers()
+    return int(workers)
+
+
+def fork_available() -> bool:
+    """True when the ``fork`` start method exists (Linux/macOS CPython).
+
+    The executor ships shard *payloads* through the pool but relies on
+    workers inheriting large read-only state (the verification engine's
+    indexed graphs) from the parent by copy-on-write, which only ``fork``
+    provides.  Without it :func:`run_sharded` degrades to inline execution —
+    same results, no parallelism.
+    """
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def deterministic_shards(items: Sequence[T], shard_count: int) -> list[list[T]]:
+    """Split ``items`` into at most ``shard_count`` contiguous, non-empty shards.
+
+    Shard boundaries depend only on ``len(items)`` and ``shard_count``
+    (balanced sizes, differing by at most one), and concatenating the shards
+    reproduces ``items`` exactly — the order-preservation half of the
+    determinism contract.
+    """
+    items = list(items)
+    if not items:
+        return []
+    shard_count = max(1, min(int(shard_count), len(items)))
+    base, extra = divmod(len(items), shard_count)
+    shards: list[list[T]] = []
+    start = 0
+    for index in range(shard_count):
+        size = base + (1 if index < extra else 0)
+        shards.append(items[start : start + size])
+        start += size
+    return shards
+
+
+def run_sharded(
+    task: Callable[[T], R],
+    shards: Sequence[T],
+    *,
+    workers: Optional[int] = None,
+) -> list[R]:
+    """Apply ``task`` to every shard, fanning across worker processes.
+
+    Results come back in shard order regardless of which worker finished
+    first (``Pool.map`` semantics), so a reduction over the result sequence
+    is independent of the worker count.  ``task`` must be a module-level
+    function; with one worker (or when ``fork`` is unavailable, or from
+    inside a daemonic worker) the shards run inline in the calling process —
+    bit-identical results either way.
+    """
+    shards = list(shards)
+    worker_count = min(resolve_worker_count(workers), len(shards))
+    if worker_count <= 1 or not fork_available():
+        return [task(shard) for shard in shards]
+    current = multiprocessing.current_process()
+    if getattr(current, "daemon", False):  # nested pools are not allowed
+        return [task(shard) for shard in shards]
+    context = multiprocessing.get_context("fork")
+    with context.Pool(processes=worker_count) as pool:
+        return pool.map(task, shards)
+
+
+def merge_counters(parts: Iterable[Mapping[str, float]]) -> dict[str, float]:
+    """Sum per-shard operation-counter dictionaries key-wise.
+
+    Addition over ints (the counters are settle/pair counts) is associative
+    and commutative, so the merge is independent of the sharding — the
+    counter half of the determinism contract.
+    """
+    merged: dict[str, float] = {}
+    for part in parts:
+        for key, value in part.items():
+            merged[key] = merged.get(key, 0) + value
+    return merged
 
 
 @dataclass

@@ -1,0 +1,287 @@
+"""Verification benchmark matrix: the perf trajectory behind ``repro bench-verify``.
+
+PRs 1–4 put *construction* on the indexed fast path; this bench measures the
+*quality checks* — exact edge verification and the exact stretch profile —
+end to end on the batch verification engine of
+:mod:`repro.spanners.verification`, against the seed per-pair reference
+implementation where the instance is small enough to afford it.
+
+One run takes a workload, builds one spanner with a registry builder
+(:mod:`repro.spanners.registry`), and runs the checkers once per *mode*:
+
+* ``indexed`` — the batch engine: one cutoff-bounded search per distinct
+  edge source, one full indexed SSSP per profile source, vectorized ratio
+  reduction, optionally sharded across worker processes (``--workers``);
+* ``reference`` — the seed per-pair dict Dijkstra loops.
+
+Each mode's record holds wall-clock seconds plus the deterministic
+``verify_settles`` / ``profile_settles`` operation counts that
+``scripts/check_bench_regression.py`` diffs against the committed baseline
+in ``benchmarks/BENCH_verify.json`` (machine-independent, noise-free).  When
+both modes run, the run also records the cross-check flags the gate fails
+on: ``verdicts_match`` (edge + sampled verdicts agree) and
+``profiles_match`` (*bit-identical* profile floats).
+
+Large rows (``n = 10⁴``) run the indexed mode only: edge verification stays
+exact over every base edge, while the profile sweeps a deterministic
+evenly-strided source shard (``profile_sources``, recorded in the run) — the
+same scale device as the overlay bench's restricted routing destinations.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.spanner import Spanner
+from repro.experiments.overlay_bench import (
+    DEFAULT_BUILDER_PARAMS,
+    _build_instance as _build_overlay_instance,
+    workload_key as _overlay_workload_key,
+)
+from repro.graph.weighted_graph import WeightedGraph
+from repro.metric.base import FiniteMetric
+from repro.spanners.registry import build_spanner
+from repro.spanners.verification import (
+    VerificationEngine,
+    stretch_profile_detailed,
+    verify_spanner_edges_detailed,
+    verify_spanner_sampled,
+)
+
+SCHEMA_VERSION = 1
+
+DEFAULT_MODES = ("indexed", "reference")
+
+#: The deterministic operation counts the regression checker compares.
+OPERATION_COUNT_KEYS = ("verify_settles", "profile_settles")
+
+
+def verify_workload(
+    base: dict[str, object], builder: str = "greedy"
+) -> dict[str, object]:
+    """Attach the registry ``builder`` to a bench workload description."""
+    workload = dict(base)
+    workload["builder"] = str(builder)
+    return workload
+
+
+def _without_builder(workload: dict[str, object]) -> dict[str, object]:
+    return {key: value for key, value in workload.items() if key != "builder"}
+
+
+def workload_key(workload: dict[str, object]) -> str:
+    """Stable run key: the overlay workload key plus the builder suffix.
+
+    Delegating to :func:`repro.experiments.overlay_bench.workload_key` keeps
+    the key format in one place — a silent divergence would make the
+    regression checker join fresh runs against nothing.
+    """
+    return f"{_overlay_workload_key(_without_builder(workload))}-b{workload['builder']}"
+
+
+def _build_instance(
+    workload: dict[str, object],
+) -> tuple[WeightedGraph, Optional[FiniteMetric]]:
+    return _build_overlay_instance(_without_builder(workload))
+
+
+def _build_presets() -> dict[str, tuple[dict[str, object], tuple[str, ...], Optional[int]]]:
+    """The named rows of the verification matrix.
+
+    Each value is ``(workload, modes, profile_sources)``.  The first two rows
+    are CI-sized and run both modes (the cross-check evidence); the scale
+    rows run the indexed mode only — the reference mode's Θ(per-pair) cost is
+    exactly the wall this engine removes — with the profile over an
+    evenly-strided source shard.
+    """
+    from repro.experiments.oracle_bench import euclidean_workload
+    from repro.experiments.overlay_bench import geometric_workload
+
+    rows: tuple[tuple[dict[str, object], tuple[str, ...], Optional[int]], ...] = (
+        (verify_workload(geometric_workload(n=300), "greedy"), DEFAULT_MODES, None),
+        # The metric reference mode pays Θ(n²) per-pair Dijkstras over the
+        # closure (the wall this engine removes), so the dual-mode metric
+        # cross-check row is CI-sized; the larger metric rows run indexed
+        # only.
+        (verify_workload(euclidean_workload(n=150, stretch=1.5), "theta"), DEFAULT_MODES, None),
+        (verify_workload(euclidean_workload(n=2000, stretch=1.5), "theta"), ("indexed",), 256),
+        # Baswana–Sen's pinned k=2 yields a 3-spanner, so the scale row
+        # verifies against t=3 (the guarantee it actually makes).
+        (
+            verify_workload(
+                geometric_workload(n=10000, radius=0.025, stretch=3.0), "baswana-sen"
+            ),
+            ("indexed",),
+            64,
+        ),
+    )
+    return {workload_key(workload): (workload, modes, sources) for workload, modes, sources in rows}
+
+
+#: workload key -> (workload, default modes, default profile_sources).
+VERIFY_PRESETS = _build_presets()
+
+
+def profile_source_vertices(
+    base: WeightedGraph, profile_sources: Optional[int]
+) -> Optional[list[object]]:
+    """Return the deterministic evenly-strided source shard, or ``None`` for all.
+
+    Sources are taken at a fixed stride over the shared-id order (the
+    ``base.vertices()`` order), so the shard — and therefore every profile
+    float and counter derived from it — is a pure function of the workload.
+    """
+    if profile_sources is None:
+        return None
+    vertices = list(base.vertices())
+    count = min(int(profile_sources), len(vertices))
+    if count <= 0:
+        return []
+    stride = max(1, len(vertices) // count)
+    return vertices[::stride][:count]
+
+
+def run_verify_bench(
+    workload: dict[str, object],
+    modes: Sequence[str] = DEFAULT_MODES,
+    *,
+    workers: Optional[int] = None,
+    profile_sources: Optional[int] = None,
+    samples: int = 128,
+) -> dict[str, object]:
+    """Run edge verification + exact profile once per mode; returns one run record.
+
+    The record mirrors the oracle/overlay bench shape (``"strategies"`` keyed
+    by mode) so :func:`scripts.check_bench_regression.find_regressions` gates
+    all three trajectories with the same code.  The spanner is built once and
+    shared by all modes; the indexed mode also reuses one
+    :class:`VerificationEngine` across its checks, which is the engine's
+    intended amortization (translate once, verify many).
+    """
+    graph, metric = _build_instance(workload)
+    stretch = float(workload["stretch"])
+    builder = str(workload.get("builder", "greedy"))
+    params = dict(DEFAULT_BUILDER_PARAMS.get(builder, {}))
+
+    build_start = time.perf_counter()
+    spanner: Spanner = build_spanner(
+        builder, metric if metric is not None else graph, stretch, **params
+    )
+    build_seconds = time.perf_counter() - build_start
+
+    sources = profile_source_vertices(spanner.base, profile_sources)
+
+    records: dict[str, dict[str, float]] = {}
+    verdicts: dict[str, tuple[bool, bool]] = {}
+    profiles: dict[str, tuple[float, ...]] = {}
+    for mode in modes:
+        engine = (
+            VerificationEngine(spanner.base, spanner.subgraph) if mode == "indexed" else None
+        )
+        mode_workers = workers if mode == "indexed" else None
+
+        start = time.perf_counter()
+        verification = verify_spanner_edges_detailed(
+            spanner.subgraph, spanner.base, stretch, mode=mode,
+            workers=mode_workers, engine=engine,
+        )
+        verify_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        profile, profile_stats = stretch_profile_detailed(
+            spanner, exact=True, mode=mode, workers=mode_workers,
+            sources=sources, engine=engine,
+        )
+        profile_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        sampled_ok = verify_spanner_sampled(
+            spanner, samples=samples, seed=int(workload.get("seed", 7)),
+            mode=mode, engine=engine,
+        )
+        sampled_seconds = time.perf_counter() - start
+
+        record: dict[str, float] = {
+            "verify_seconds": verify_seconds,
+            "profile_seconds": profile_seconds,
+            "sampled_seconds": sampled_seconds,
+            "verify_ok": float(verification.ok),
+            "sampled_ok": float(sampled_ok),
+        }
+        record.update(verification.counters())
+        record.update(profile_stats.counters())
+        record.update(profile.as_row())
+        records[mode] = record
+        verdicts[mode] = (verification.ok, sampled_ok)
+        profiles[mode] = (
+            float(profile.pairs_checked),
+            profile.max_stretch,
+            profile.mean_stretch,
+            profile.fraction_at_stretch_one,
+        )
+
+    result: dict[str, object] = {
+        "workload": dict(workload),
+        "strategies": records,
+        "n": graph.number_of_vertices,
+        "build_seconds": build_seconds,
+        "spanner_edges": float(spanner.number_of_edges),
+        "workers": float(workers) if workers is not None else 1.0,
+        "profile_source_count": float(len(sources)) if sources is not None else float(
+            graph.number_of_vertices
+        ),
+    }
+    if len(records) > 1:
+        reference_verdict = next(iter(verdicts.values()))
+        reference_profile = next(iter(profiles.values()))
+        # Bit-identical float comparison is intentional: the two engines are
+        # proven (and property-tested) to produce the same IEEE doubles.
+        result["verdicts_match"] = all(v == reference_verdict for v in verdicts.values())
+        result["profiles_match"] = all(p == reference_profile for p in profiles.values())
+    if "indexed" in records and "reference" in records:
+        reference_total = (
+            records["reference"]["verify_seconds"] + records["reference"]["profile_seconds"]
+        )
+        indexed_total = (
+            records["indexed"]["verify_seconds"] + records["indexed"]["profile_seconds"]
+        )
+        if indexed_total > 0:
+            result["speedup_vs_reference"] = reference_total / indexed_total
+    return result
+
+
+def merge_run_into_file(path: str | Path, run: dict[str, object]) -> dict[str, object]:
+    """Merge ``run`` into the verification trajectory at ``path`` (created if missing).
+
+    One entry per workload key under ``"runs"``, latest run wins — the same
+    contract as the oracle and overlay trajectory files.
+    """
+    path = Path(path)
+    if path.exists():
+        document = json.loads(path.read_text())
+    else:
+        document = {
+            "schema": SCHEMA_VERSION,
+            "description": (
+                "Batch verification benchmark trajectory (exact edge checks / "
+                "stretch profiles per engine mode); see docs/PERFORMANCE.md. "
+                "Regenerate with `repro bench-verify`."
+            ),
+            "runs": {},
+        }
+    document.setdefault("runs", {})[workload_key(run["workload"])] = run
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document
+
+
+def render_rows(run: dict[str, object]) -> list[dict[str, object]]:
+    """Flatten a run record into report-table rows (one per mode)."""
+    rows = []
+    for name, record in run["strategies"].items():
+        row: dict[str, object] = {"mode": name}
+        row.update(record)
+        rows.append(row)
+    return rows

@@ -28,6 +28,7 @@ from repro.graph.mst import (
     is_spanning_tree,
     kruskal_mst,
     mst_weight,
+    mst_weight_indexed,
     prim_mst,
 )
 from repro.graph.traversal import (
@@ -59,6 +60,7 @@ __all__ = [
     "is_spanning_tree",
     "kruskal_mst",
     "mst_weight",
+    "mst_weight_indexed",
     "prim_mst",
     "connected_components",
     "is_connected",

@@ -20,6 +20,7 @@ from collections.abc import Hashable, Iterable
 from typing import Optional
 
 import heapq
+import math
 
 from repro.errors import DisconnectedGraphError, VertexNotFoundError
 from repro.graph.weighted_graph import Vertex, WeightedEdge, WeightedGraph
@@ -169,6 +170,60 @@ def mst_weight(graph: WeightedGraph) -> float:
             f"{graph.number_of_vertices} vertices)"
         )
     return forest.total_weight()
+
+
+def mst_weight_indexed(graph: WeightedGraph) -> float:
+    """Indexed-Prim fast path for ``w(MST(G))`` on plain weighted graphs.
+
+    Runs Prim's algorithm over the flat adjacency arrays of an
+    :class:`~repro.graph.indexed_graph.IndexedGraph` copy — no per-step hash
+    lookups and no edge sort, so the batch verification engine can fold MST
+    weights (lightness, Observations 6/12, the optimality certificates) into
+    the same indexed substrate the distance checks run on.  Lazy
+    complete-graph views keep their dense-Prim dispatch.  The returned weight
+    equals :func:`mst_weight` up to summation order (the tree is a minimum
+    spanning tree either way; with tied weights a different minimum tree of
+    the same total weight may be chosen).
+
+    Raises :class:`DisconnectedGraphError` for disconnected graphs, matching
+    :func:`mst_weight`.
+    """
+    dense = getattr(graph, "dense_metric_mst_weight", None)
+    if dense is not None:
+        return dense()
+    from repro.graph.indexed_graph import IndexedGraph
+
+    indexed = IndexedGraph.from_weighted_graph(graph)
+    n = indexed.number_of_vertices
+    if n == 0:
+        return 0.0
+    neighbour_ids, neighbour_weights = indexed.adjacency_arrays()
+    inf = math.inf
+    best: list[float] = [inf] * n
+    in_tree: list[bool] = [False] * n
+    best[0] = 0.0
+    total = 0.0
+    reached = 0
+    heap: list[tuple[float, int]] = [(0.0, 0)]
+    push = heapq.heappush
+    pop = heapq.heappop
+    while heap:
+        weight, vertex = pop(heap)
+        if in_tree[vertex]:
+            continue
+        in_tree[vertex] = True
+        reached += 1
+        total += weight
+        for neighbour, edge_weight in zip(neighbour_ids[vertex], neighbour_weights[vertex]):
+            if not in_tree[neighbour] and edge_weight < best[neighbour]:
+                best[neighbour] = edge_weight
+                push(heap, (edge_weight, neighbour))
+    if reached != n:
+        raise DisconnectedGraphError(
+            "MST weight requested for a disconnected graph "
+            f"({reached - 1} tree edges for {n} vertices)"
+        )
+    return total
 
 
 def is_spanning_tree(graph: WeightedGraph, tree: WeightedGraph) -> bool:

@@ -26,7 +26,10 @@ oracles and the cluster graphs (see ``docs/PERFORMANCE.md``):
 * :func:`indexed_bidirectional_cutoff` — meet-in-the-middle bounded search:
   two half-radius balls instead of one full-radius ball,
 * :func:`indexed_ball` — all vertices within a radius (cluster construction,
-  and the caching oracle's batch-harvest of certified upper bounds),
+  the caching oracle's batch-harvest of certified upper bounds, and the batch
+  verification engine's per-source grouped edge checks),
+* :func:`indexed_cutoff_excluding_edge` — bounded single-pair search on
+  ``G - e`` without materializing the edge removal (the Lemma 3 verifier),
 * :func:`indexed_greedy_clustering` — greedy ``r``-net centre selection plus
   closest-centre assignment as *one* batched multi-source sweep (the cluster
   graphs' construction kernel; provably identical to one
@@ -382,6 +385,54 @@ def indexed_greedy_clustering(
     # Every id is either absorbed or promoted to a centre during the scan, so
     # `dist` is fully populated: it doubles as the offset array.
     return centres, centre, dist, settles
+
+
+def indexed_cutoff_excluding_edge(
+    graph: IndexedGraph,
+    source: int,
+    target: int,
+    cutoff: float,
+    *,
+    excluded: tuple[int, int],
+) -> tuple[float, int]:
+    """Bounded single-pair search that never relaxes the ``excluded`` edge.
+
+    Exactly :func:`indexed_dijkstra_with_cutoff` on the graph ``G - e`` where
+    ``e`` is the undirected edge between the two ids in ``excluded`` — both
+    half-edge orientations are skipped during relaxation, so the search sees
+    the deleted-edge graph without the O(m) copy-and-remove the reference
+    Lemma 3 verifier pays per edge.  Returns ``(distance, settled_count)``;
+    ``distance`` is ``δ_{G-e}(source, target)`` if at most ``cutoff``, else
+    ``math.inf``.
+    """
+    if source == target:
+        return 0.0, 0
+    neighbour_ids, neighbour_weights = graph.adjacency_arrays()
+    skip_u, skip_v = excluded
+    settled: dict[int, float] = {}
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    push = heapq.heappush
+    pop = heapq.heappop
+    while heap:
+        dist, vertex = pop(heap)
+        if dist > cutoff:
+            return math.inf, len(settled)
+        if vertex in settled:
+            continue
+        settled[vertex] = dist
+        if vertex == target:
+            return dist, len(settled)
+        for neighbour, weight in zip(neighbour_ids[vertex], neighbour_weights[vertex]):
+            if neighbour in settled:
+                continue
+            if (vertex == skip_u and neighbour == skip_v) or (
+                vertex == skip_v and neighbour == skip_u
+            ):
+                continue
+            new_dist = dist + weight
+            if new_dist <= cutoff:
+                push(heap, (new_dist, neighbour))
+    return math.inf, len(settled)
 
 
 def indexed_sssp(

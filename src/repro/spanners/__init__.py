@@ -23,9 +23,14 @@ from repro.spanners.trivial import (
     shortest_path_tree_spanner,
 )
 from repro.spanners.verification import (
+    EdgeVerification,
+    ProfileStats,
     StretchProfile,
+    VerificationEngine,
     stretch_profile,
+    stretch_profile_detailed,
     verify_spanner_edges,
+    verify_spanner_edges_detailed,
     verify_spanner_sampled,
 )
 from repro.spanners.wspd import build_split_tree, separation_for_stretch, wspd_pairs, wspd_spanner
@@ -50,9 +55,14 @@ __all__ = [
     "identity_spanner",
     "mst_spanner",
     "shortest_path_tree_spanner",
+    "EdgeVerification",
+    "ProfileStats",
     "StretchProfile",
+    "VerificationEngine",
     "stretch_profile",
+    "stretch_profile_detailed",
     "verify_spanner_edges",
+    "verify_spanner_edges_detailed",
     "verify_spanner_sampled",
     "build_split_tree",
     "separation_for_stretch",

@@ -116,20 +116,14 @@ def theoretical_degree_bound(epsilon: float, ddim: float) -> float:
 
 
 def verify_net_tree_stretch(spanner: Spanner, *, sample_pairs: int = 200, seed: int = 7) -> bool:
-    """Spot-check the (1+ε) stretch of a net-tree spanner on random pairs."""
-    import random
+    """Spot-check the (1+ε) stretch of a net-tree spanner on random pairs.
 
-    rng = random.Random(seed)
-    vertices = list(spanner.base.vertices())
-    if len(vertices) < 2:
-        return True
-    from repro.graph.shortest_paths import pair_distance
+    Delegates to the batch verification engine's sampled check
+    (:func:`~repro.spanners.verification.verify_spanner_sampled`): base
+    distances come straight from the metric and the spanner-side distances
+    from one cached indexed SSSP row per distinct sampled source, instead of
+    the seed's full dict Dijkstra per sampled pair.
+    """
+    from repro.spanners.verification import verify_spanner_sampled
 
-    for _ in range(sample_pairs):
-        u, v = rng.sample(vertices, 2)
-        base_distance = spanner.base.weight(u, v) if spanner.base.has_edge(u, v) else None
-        if base_distance is None:
-            continue
-        if pair_distance(spanner.subgraph, u, v) > spanner.stretch * base_distance * (1 + 1e-9):
-            return False
-    return True
+    return verify_spanner_sampled(spanner, samples=sample_pairs, seed=seed)

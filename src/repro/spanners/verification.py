@@ -1,11 +1,43 @@
-"""Stretch verification utilities shared by tests, examples and benchmarks.
+"""The indexed batch verification engine: stretch checks as fast as builds.
 
 Section 2 of the paper notes that to bound the stretch of a spanner it
 suffices to look at the edges of the base graph; :func:`verify_spanner_edges`
-implements exactly that check.  For large instances an exact check is too
-slow, so :func:`verify_spanner_sampled` spot-checks random vertex pairs, and
-:func:`stretch_profile` returns the distribution of per-pair stretches used
-by the comparison experiment's summary statistics.
+implements exactly that check, :func:`verify_spanner_sampled` spot-checks
+random vertex pairs, and :func:`stretch_profile` returns the distribution of
+per-pair stretches used by the comparison experiments.
+
+Every checker runs in one of two modes:
+
+* ``mode="indexed"`` (the default) — the batch engine.  Base and subgraph
+  are translated **once** to :class:`~repro.graph.indexed_graph.IndexedGraph`
+  over a shared id map (ids assigned in ``base.vertices()`` order).  Edge
+  verification groups the base edges by their smaller endpoint id and runs
+  *one* cutoff-bounded Dijkstra per distinct source (cutoff ``t`` times the
+  heaviest grouped edge) instead of one per-pair search per edge; the exact
+  stretch profile runs one full indexed SSSP per source and reduces the
+  per-target ratio rows with vectorized numpy arithmetic.  For lazy
+  complete-graph bases (:class:`~repro.metric.closure.MetricClosure`) the
+  base distance rows come straight from the metric — vectorized for
+  Euclidean point sets — so no search ever touches the Θ(n²) closure.
+* ``mode="reference"`` — the seed per-pair implementation: one dict-based
+  Dijkstra per base edge / per profile source, kept as the oracle the
+  property tests compare the engine against.
+
+The two modes agree *bit for bit*: Dijkstra's settled distances are the
+minimum over identical left-associated path sums whatever the relaxation
+order, ratios divide the same floats, and the profile reduction is defined
+order-independently (per-source ``math.fsum`` rows folded by an outer
+``fsum``), so verdicts, profiles and pair counts are hypothesis-tested for
+exact equality.  Both modes dedupe pairs by shared-id order — which also
+fixes the seed bug where only integer vertices were deduped and e.g.
+string-labelled graphs counted every pair twice.
+
+``workers=N`` shards the per-source loops across forked worker processes via
+:func:`repro.experiments.harness.run_sharded`; shard order is preserved and
+counters merge by addition, so the merged result is identical for 1 and N
+workers (property-tested).  ``repro bench-verify`` persists the engine's
+deterministic ``verify_settles`` / ``profile_settles`` operation counts to
+``BENCH_verify.json``, gated by ``scripts/check_bench_regression.py``.
 """
 
 from __future__ import annotations
@@ -13,50 +45,164 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.core.spanner import Spanner
-from repro.graph.shortest_paths import pair_distance, single_source_distances
-from repro.graph.weighted_graph import WeightedGraph
+from repro.graph.indexed_graph import IndexedGraph
+from repro.graph.shortest_paths import (
+    dijkstra,
+    indexed_ball,
+    indexed_sssp,
+    pair_distance,
+)
+from repro.graph.weighted_graph import Vertex, WeightedGraph
+
+_MODES = ("indexed", "reference")
 
 
-def verify_spanner_edges(
-    subgraph: WeightedGraph, base: WeightedGraph, t: float, *, tolerance: float = 1e-9
-) -> bool:
-    """Return True if ``subgraph`` stretches no base edge by more than ``t``."""
-    for u, v, weight in base.edges():
-        if pair_distance(subgraph, u, v) > t * weight * (1.0 + tolerance):
-            return False
-    return True
+def check_mode(mode: str) -> None:
+    """Reject unknown engine modes (shared by every mode-switched checker)."""
+    if mode not in _MODES:
+        raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
 
 
-def verify_spanner_sampled(
-    spanner: Spanner,
-    *,
-    samples: int = 200,
-    seed: Optional[int] = None,
-    tolerance: float = 1e-9,
-) -> bool:
-    """Spot-check the stretch guarantee on ``samples`` random vertex pairs."""
-    rng = random.Random(seed)
-    vertices = list(spanner.base.vertices())
-    if len(vertices) < 2:
-        return True
-    for _ in range(samples):
-        u, v = rng.sample(vertices, 2)
-        base_distance = pair_distance(spanner.base, u, v)
-        if base_distance == 0.0 or math.isinf(base_distance):
-            continue
-        if pair_distance(spanner.subgraph, u, v) > spanner.stretch * base_distance * (
-            1.0 + tolerance
-        ):
-            return False
-    return True
+# ---------------------------------------------------------------------------
+# The shared indexed substrate
+# ---------------------------------------------------------------------------
+class VerificationEngine:
+    """Base + subgraph translated once onto a shared dense-id substrate.
+
+    Ids are assigned in ``base.vertices()`` iteration order and shared by the
+    subgraph translation, so an id means the same vertex on both sides — the
+    property every batch check below relies on.  When the base is a lazy
+    complete-graph view over a metric, base distance *rows* are served from
+    the metric itself (``δ(u, ·)`` is the direct-edge row by the triangle
+    inequality) instead of searching the Θ(n²) closure.
+    """
+
+    __slots__ = (
+        "base",
+        "subgraph",
+        "vertices",
+        "id_of",
+        "metric",
+        "base_indexed",
+        "sub_indexed",
+    )
+
+    def __init__(self, base: WeightedGraph, subgraph: WeightedGraph) -> None:
+        self.base = base
+        self.subgraph = subgraph
+        self.vertices: list[Vertex] = list(base.vertices())
+        self.metric = getattr(base, "metric", None)
+        # Lazy closures are never materialized: their base rows come from the
+        # metric, so only graph bases get an indexed base translation.
+        self.base_indexed: Optional[IndexedGraph] = (
+            IndexedGraph.from_weighted_graph(base) if self.metric is None else None
+        )
+        self.sub_indexed = IndexedGraph(vertices=self.vertices)
+        self.id_of = {vertex: vid for vid, vertex in enumerate(self.vertices)}
+        for u, v, weight in subgraph.edges():
+            self.sub_indexed.append_edge_unchecked_ids(self.id_of[u], self.id_of[v], weight)
+
+    @property
+    def n(self) -> int:
+        return len(self.vertices)
+
+    # -- distance rows --------------------------------------------------
+    def base_row(self, source_id: int) -> tuple[np.ndarray, int]:
+        """Return ``(distances from source to every id, settles)`` in the base.
+
+        Metric bases cost zero settles (the row *is* the metric row);
+        graph bases pay one full indexed SSSP.
+        """
+        if self.metric is not None:
+            source = self.vertices[source_id]
+            distances_from = getattr(self.metric, "distances_from", None)
+            if distances_from is not None:
+                row = np.asarray(distances_from(source), dtype=float)
+            else:
+                distance = self.metric.distance
+                row = np.fromiter(
+                    (distance(source, other) for other in self.vertices),
+                    dtype=float,
+                    count=self.n,
+                )
+            return row, 0
+        dist, _, settles = indexed_sssp(self.base_indexed, source_id)
+        return np.asarray(dist, dtype=float), settles
+
+    def sub_row(self, source_id: int) -> tuple[np.ndarray, int]:
+        """Return ``(distances in the subgraph, settles)`` via one indexed SSSP."""
+        dist, _, settles = indexed_sssp(self.sub_indexed, source_id)
+        return np.asarray(dist, dtype=float), settles
+
+    # -- grouped base edges ---------------------------------------------
+    def grouped_base_edges(self) -> dict[int, tuple[list[int], list[float]]]:
+        """Group the base's edges by their smaller endpoint id.
+
+        Returns ``{source_id: (target_ids, weights)}``; each undirected edge
+        appears exactly once, under its smaller id.  Metric bases are *not*
+        grouped this way (every pair is an edge) — their edge check runs on
+        full rows instead, see :func:`_verify_edges_indexed`.
+        """
+        grouped: dict[int, tuple[list[int], list[float]]] = {}
+        for uid, vid, weight in self.base_indexed.edges():
+            slot = grouped.get(uid)
+            if slot is None:
+                slot = ([], [])
+                grouped[uid] = slot
+            slot[0].append(vid)
+            slot[1].append(weight)
+        return grouped
+
+
+# ---------------------------------------------------------------------------
+# Reports
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class EdgeVerification:
+    """Outcome and operation counts of one batch edge-verification run."""
+
+    ok: bool
+    edges_checked: int
+    sources: int
+    settles: int
+
+    def counters(self) -> dict[str, float]:
+        """The deterministic operation counts the bench trajectory records."""
+        return {
+            "verify_settles": float(self.settles),
+            "verify_sources": float(self.sources),
+            "verify_edges_checked": float(self.edges_checked),
+        }
+
+
+@dataclass(frozen=True)
+class ProfileStats:
+    """Operation counts of one stretch-profile run."""
+
+    sources: int
+    settles: int
+
+    def counters(self) -> dict[str, float]:
+        return {
+            "profile_settles": float(self.settles),
+            "profile_sources": float(self.sources),
+        }
 
 
 @dataclass(frozen=True)
 class StretchProfile:
-    """Summary statistics of the per-pair stretch distribution of a spanner."""
+    """Summary statistics of the per-pair stretch distribution of a spanner.
+
+    ``mean_stretch`` is defined as ``fsum(per-source row sums) / pairs`` with
+    each row itself an ``fsum`` over that source's ratios in shared-id
+    order — correctly-rounded partial sums, so the value is independent of
+    evaluation order (mode, worker count) and bit-comparable across engines.
+    """
 
     pairs_checked: int
     max_stretch: float
@@ -73,46 +219,496 @@ class StretchProfile:
         }
 
 
+#: One source's profile partial: (pairs, row_fsum, row_max, pairs_at_one).
+_ProfileRow = tuple[int, float, float, int]
+
+
+def _reduce_profile(rows: Sequence[_ProfileRow]) -> StretchProfile:
+    """Fold per-source partial rows into a :class:`StretchProfile`."""
+    pairs = sum(row[0] for row in rows)
+    if pairs == 0:
+        return StretchProfile(0, 1.0, 1.0, 1.0)
+    total = math.fsum(row[1] for row in rows)
+    worst = max(row[2] for row in rows)
+    at_one = sum(row[3] for row in rows)
+    return StretchProfile(
+        pairs_checked=pairs,
+        max_stretch=worst,
+        mean_stretch=total / pairs,
+        fraction_at_stretch_one=at_one / pairs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Parallel shard workers (module-level so the forked pool can address them;
+# the engine itself is inherited by fork, never pickled)
+# ---------------------------------------------------------------------------
+_PARALLEL_ENGINE: Optional[VerificationEngine] = None
+_PARALLEL_PARAMS: dict[str, float] = {}
+
+
+def _profile_shard(source_ids: list[int]) -> tuple[list[_ProfileRow], dict[str, float]]:
+    """Profile one shard of sources on the inherited engine."""
+    engine = _PARALLEL_ENGINE
+    rows: list[_ProfileRow] = []
+    settles = 0
+    for source_id in source_ids:
+        row, spent = _profile_one_source(engine, source_id)
+        rows.append(row)
+        settles += spent
+    return rows, {"settles": settles}
+
+
+def _verify_shard(
+    shard: list[tuple[int, list[int], list[float]]]
+) -> tuple[bool, dict[str, float]]:
+    """Verify one shard of grouped edge sources on the inherited engine."""
+    engine = _PARALLEL_ENGINE
+    t = _PARALLEL_PARAMS["t"]
+    tolerance = _PARALLEL_PARAMS["tolerance"]
+    settles = 0
+    ok = True
+    for source_id, targets, weights in shard:
+        group_ok, spent = _verify_one_source(engine, source_id, targets, weights, t, tolerance)
+        settles += spent
+        if not group_ok:
+            ok = False
+    return ok, {"settles": settles}
+
+
+def _profile_one_source(
+    engine: VerificationEngine, source_id: int
+) -> tuple[_ProfileRow, int]:
+    """Compute one source's profile partial over targets with larger id."""
+    base_row, base_settles = engine.base_row(source_id)
+    sub_row, sub_settles = engine.sub_row(source_id)
+    targets = slice(source_id + 1, engine.n)
+    original = base_row[targets]
+    mask = (original > 0.0) & np.isfinite(original)
+    original = original[mask]
+    if original.size == 0:
+        return (0, 0.0, -math.inf, 0), base_settles + sub_settles
+    with np.errstate(divide="ignore"):
+        ratios = sub_row[targets][mask] / original
+    at_one = int(np.count_nonzero(ratios <= 1.0 + 1e-9))
+    row = (int(ratios.size), math.fsum(ratios), float(ratios.max()), at_one)
+    return row, base_settles + sub_settles
+
+
+def _verify_one_source(
+    engine: VerificationEngine,
+    source_id: int,
+    targets: list[int],
+    weights: list[float],
+    t: float,
+    tolerance: float,
+) -> tuple[bool, int]:
+    """Check one source's grouped base edges with a single bounded ball."""
+    cutoff = max(t * weight * (1.0 + tolerance) for weight in weights)
+    settled = indexed_ball(engine.sub_indexed, source_id, cutoff)
+    inf = math.inf
+    for target, weight in zip(targets, weights):
+        if settled.get(target, inf) > t * weight * (1.0 + tolerance):
+            return False, len(settled)
+    return True, len(settled)
+
+
+def _run_engine_shards(task, shards, workers):
+    """Run shards through :func:`repro.experiments.harness.run_sharded`.
+
+    Imported lazily to keep the spanners layer import-independent of the
+    experiments layer at module load.
+    """
+    from repro.experiments.harness import run_sharded
+
+    return run_sharded(task, shards, workers=workers)
+
+
+def _shard_sources(items: list, workers: Optional[int]) -> list[list]:
+    from repro.experiments.harness import deterministic_shards, resolve_worker_count
+
+    worker_count = resolve_worker_count(workers)
+    # A few shards per worker keeps the pool busy without costing determinism
+    # (results are reduced in shard order either way).
+    return deterministic_shards(items, max(1, worker_count * 4))
+
+
+# ---------------------------------------------------------------------------
+# Edge verification
+# ---------------------------------------------------------------------------
+def verify_spanner_edges(
+    subgraph: WeightedGraph,
+    base: WeightedGraph,
+    t: float,
+    *,
+    tolerance: float = 1e-9,
+    mode: str = "indexed",
+    workers: Optional[int] = None,
+    engine: Optional[VerificationEngine] = None,
+) -> bool:
+    """Return True if ``subgraph`` stretches no base edge by more than ``t``."""
+    return verify_spanner_edges_detailed(
+        subgraph, base, t, tolerance=tolerance, mode=mode, workers=workers, engine=engine
+    ).ok
+
+
+def verify_spanner_edges_detailed(
+    subgraph: WeightedGraph,
+    base: WeightedGraph,
+    t: float,
+    *,
+    tolerance: float = 1e-9,
+    mode: str = "indexed",
+    workers: Optional[int] = None,
+    engine: Optional[VerificationEngine] = None,
+) -> EdgeVerification:
+    """Edge verification with the operation counts the bench trajectory records."""
+    check_mode(mode)
+    if mode == "reference":
+        return _verify_edges_reference(subgraph, base, t, tolerance)
+    if engine is None:
+        engine = VerificationEngine(base, subgraph)
+    return _verify_edges_indexed(engine, t, tolerance, workers)
+
+
+def _verify_edges_reference(
+    subgraph: WeightedGraph, base: WeightedGraph, t: float, tolerance: float
+) -> EdgeVerification:
+    """The seed check: one early-stopping dict Dijkstra per base edge."""
+    settles = 0
+    edges_checked = 0
+    sources: set[Vertex] = set()
+    ok = True
+    for u, v, weight in base.edges():
+        distances, _ = dijkstra(subgraph, u, targets=[v])
+        settles += len(distances)
+        edges_checked += 1
+        sources.add(u)
+        if distances.get(v, math.inf) > t * weight * (1.0 + tolerance):
+            ok = False
+            break
+    return EdgeVerification(ok=ok, edges_checked=edges_checked, sources=len(sources), settles=settles)
+
+
+def _verify_edges_indexed(
+    engine: VerificationEngine, t: float, tolerance: float, workers: Optional[int]
+) -> EdgeVerification:
+    if engine.metric is not None:
+        return _verify_edges_metric(engine, t, tolerance, workers)
+    grouped = engine.grouped_base_edges()
+    items = [(source_id, targets, weights) for source_id, (targets, weights) in grouped.items()]
+    edges_checked = sum(len(targets) for _, targets, _ in items)
+    if not items:
+        return EdgeVerification(ok=True, edges_checked=0, sources=0, settles=0)
+    shards = _shard_sources(items, workers)
+    if len(shards) <= 1 or workers is None or workers == 1:
+        ok = True
+        settles = 0
+        for source_id, targets, weights in items:
+            group_ok, spent = _verify_one_source(engine, source_id, targets, weights, t, tolerance)
+            settles += spent
+            if not group_ok:
+                ok = False
+        return EdgeVerification(ok=ok, edges_checked=edges_checked, sources=len(items), settles=settles)
+    global _PARALLEL_ENGINE, _PARALLEL_PARAMS
+    _PARALLEL_ENGINE = engine
+    _PARALLEL_PARAMS = {"t": t, "tolerance": tolerance}
+    try:
+        results = _run_engine_shards(_verify_shard, shards, workers)
+    finally:
+        _PARALLEL_ENGINE = None
+        _PARALLEL_PARAMS = {}
+    from repro.experiments.harness import merge_counters
+
+    ok = all(shard_ok for shard_ok, _ in results)
+    settles = int(merge_counters(counters for _, counters in results).get("settles", 0))
+    return EdgeVerification(ok=ok, edges_checked=edges_checked, sources=len(items), settles=settles)
+
+
+def _verify_edges_metric(
+    engine: VerificationEngine, t: float, tolerance: float, workers: Optional[int]
+) -> EdgeVerification:
+    """Metric bases: every pair is a base edge, so check full rows per source.
+
+    One indexed SSSP over the subgraph per source, compared against the
+    metric's distance row with one vectorized comparison — the grouped
+    cutoff trick degenerates here (a metric ball at radius ``t·max_w`` is the
+    whole space), so full rows are the batch form.
+    """
+    n = engine.n
+    scale = 1.0 + tolerance
+    settles = 0
+    edges_checked = 0
+    ok = True
+    for source_id in range(n - 1):
+        base_row, base_settles = engine.base_row(source_id)
+        sub_row, sub_settles = engine.sub_row(source_id)
+        settles += base_settles + sub_settles
+        original = base_row[source_id + 1 :]
+        mask = original > 0.0
+        edges_checked += int(np.count_nonzero(mask))
+        if np.any(sub_row[source_id + 1 :][mask] > t * original[mask] * scale):
+            ok = False
+            break
+    return EdgeVerification(
+        ok=ok, edges_checked=edges_checked, sources=n - 1 if n else 0, settles=settles
+    )
+
+
+# ---------------------------------------------------------------------------
+# Sampled verification
+# ---------------------------------------------------------------------------
+def _sampled_pair_distances(
+    engine: VerificationEngine, pairs: Sequence[tuple[Vertex, Vertex]]
+) -> tuple[list[tuple[float, float]], int, int]:
+    """Resolve sampled pairs to ``(base_distance, sub_distance)`` tuples.
+
+    The indexed sampled checks share this loop: one cached row per distinct
+    sampled source (base rows free on metric bases), pairs with zero or
+    infinite base distance skipped.  Returns ``(distances, distinct_sources,
+    settles)``.
+    """
+    id_of = engine.id_of
+    base_rows: dict[int, np.ndarray] = {}
+    sub_rows: dict[int, np.ndarray] = {}
+    distances: list[tuple[float, float]] = []
+    settles = 0
+    for u, v in pairs:
+        uid, vid = id_of[u], id_of[v]
+        base_row = base_rows.get(uid)
+        if base_row is None:
+            base_row, base_settles = engine.base_row(uid)
+            base_rows[uid] = base_row
+            settles += base_settles
+        base_distance = float(base_row[vid])
+        if base_distance == 0.0 or math.isinf(base_distance):
+            continue
+        sub_row = sub_rows.get(uid)
+        if sub_row is None:
+            sub_row, sub_settles = engine.sub_row(uid)
+            sub_rows[uid] = sub_row
+            settles += sub_settles
+        distances.append((base_distance, float(sub_row[vid])))
+    return distances, len(base_rows), settles
+
+
+def verify_spanner_sampled(
+    spanner: Spanner,
+    *,
+    samples: int = 200,
+    seed: Optional[int] = None,
+    tolerance: float = 1e-9,
+    mode: str = "indexed",
+    engine: Optional[VerificationEngine] = None,
+) -> bool:
+    """Spot-check the stretch guarantee on ``samples`` random vertex pairs.
+
+    Both modes draw the identical seeded pair sequence.  The indexed mode
+    caches one full subgraph SSSP row per distinct sampled source, so
+    repeated sources (and metric bases, whose base distance is the direct
+    edge) cost no extra search; the reference mode is the seed per-pair
+    dict Dijkstra, except that lazy closure bases read the base distance
+    from the metric (searching the Θ(n²) closure per pair is the slow path
+    this engine exists to remove).
+    """
+    check_mode(mode)
+    rng = random.Random(seed)
+    vertices = list(spanner.base.vertices())
+    if len(vertices) < 2:
+        return True
+    pairs = [tuple(rng.sample(vertices, 2)) for _ in range(samples)]
+    threshold = spanner.stretch * (1.0 + tolerance)
+
+    if mode == "reference":
+        metric = getattr(spanner.base, "metric", None)
+        for u, v in pairs:
+            if metric is not None:
+                base_distance = spanner.base.weight(u, v)
+            else:
+                base_distance = pair_distance(spanner.base, u, v)
+            if base_distance == 0.0 or math.isinf(base_distance):
+                continue
+            if pair_distance(spanner.subgraph, u, v) > threshold * base_distance:
+                return False
+        return True
+
+    if engine is None:
+        engine = VerificationEngine(spanner.base, spanner.subgraph)
+    distances, _, _ = _sampled_pair_distances(engine, pairs)
+    return all(
+        sub_distance <= threshold * base_distance
+        for base_distance, sub_distance in distances
+    )
+
+
+# ---------------------------------------------------------------------------
+# Stretch profile
+# ---------------------------------------------------------------------------
 def stretch_profile(
     spanner: Spanner,
     *,
     exact: bool = True,
     samples: int = 500,
     seed: Optional[int] = None,
+    mode: str = "indexed",
+    workers: Optional[int] = None,
+    sources: Optional[Sequence[Vertex]] = None,
+    engine: Optional[VerificationEngine] = None,
 ) -> StretchProfile:
     """Compute the stretch distribution of a spanner.
 
-    With ``exact=True`` (the default) every vertex pair is measured via
-    all-pairs Dijkstra; otherwise ``samples`` random pairs are used.
+    With ``exact=True`` (the default) every vertex pair is measured — each
+    unordered pair once, from its smaller shared-id endpoint — via one SSSP
+    per source; ``sources`` restricts the exact sweep to the given source
+    vertices (their rows stay exact; the bench uses this to profile
+    ``n = 10⁴`` instances from a deterministic source shard).  Otherwise
+    ``samples`` random pairs are used.
+    """
+    profile, _ = stretch_profile_detailed(
+        spanner,
+        exact=exact,
+        samples=samples,
+        seed=seed,
+        mode=mode,
+        workers=workers,
+        sources=sources,
+        engine=engine,
+    )
+    return profile
+
+
+def stretch_profile_detailed(
+    spanner: Spanner,
+    *,
+    exact: bool = True,
+    samples: int = 500,
+    seed: Optional[int] = None,
+    mode: str = "indexed",
+    workers: Optional[int] = None,
+    sources: Optional[Sequence[Vertex]] = None,
+    engine: Optional[VerificationEngine] = None,
+) -> tuple[StretchProfile, ProfileStats]:
+    """:func:`stretch_profile` plus the engine's operation counts."""
+    check_mode(mode)
+    if not exact:
+        return _profile_sampled(spanner, samples, seed, mode, engine)
+    if mode == "reference":
+        return _profile_exact_reference(spanner, sources)
+    if engine is None:
+        engine = VerificationEngine(spanner.base, spanner.subgraph)
+    if sources is None:
+        source_ids = list(range(engine.n))
+    else:
+        source_ids = [engine.id_of[vertex] for vertex in sources]
+    shards = _shard_sources(source_ids, workers)
+    if len(shards) <= 1 or workers is None or workers == 1:
+        rows: list[_ProfileRow] = []
+        settles = 0
+        for source_id in source_ids:
+            row, spent = _profile_one_source(engine, source_id)
+            rows.append(row)
+            settles += spent
+    else:
+        global _PARALLEL_ENGINE
+        _PARALLEL_ENGINE = engine
+        try:
+            results = _run_engine_shards(_profile_shard, shards, workers)
+        finally:
+            _PARALLEL_ENGINE = None
+        from repro.experiments.harness import merge_counters
+
+        rows = [row for shard_rows, _ in results for row in shard_rows]
+        settles = int(merge_counters(counters for _, counters in results).get("settles", 0))
+    return _reduce_profile(rows), ProfileStats(sources=len(source_ids), settles=settles)
+
+
+def _profile_exact_reference(
+    spanner: Spanner, sources: Optional[Sequence[Vertex]]
+) -> tuple[StretchProfile, ProfileStats]:
+    """The seed exact profile: one dict Dijkstra pair per source.
+
+    Pairs are deduped by shared-id order for *all* vertex types (the seed
+    only deduped integer vertices, double-counting e.g. string-labelled
+    pairs), and targets are enumerated in id order so the per-source rows
+    line up with the indexed engine's bit for bit.
     """
     vertices = list(spanner.base.vertices())
-    stretches: list[float] = []
+    id_of = {vertex: vid for vid, vertex in enumerate(vertices)}
+    metric = getattr(spanner.base, "metric", None)
+    chosen = vertices if sources is None else list(sources)
+    rows: list[_ProfileRow] = []
+    settles = 0
+    for source in chosen:
+        source_id = id_of[source]
+        if metric is None:
+            base_distances, _ = dijkstra(spanner.base, source)
+            settles += len(base_distances)
+        else:
+            base_distances = None
+        spanner_distances, _ = dijkstra(spanner.subgraph, source)
+        settles += len(spanner_distances)
+        ratios: list[float] = []
+        at_one = 0
+        for target in vertices[source_id + 1 :]:
+            if base_distances is None:
+                original = metric.distance(source, target)
+            else:
+                original = base_distances.get(target, math.inf)
+            if original == 0.0 or math.isinf(original):
+                continue
+            ratio = spanner_distances.get(target, math.inf) / original
+            ratios.append(ratio)
+            if ratio <= 1.0 + 1e-9:
+                at_one += 1
+        if ratios:
+            rows.append((len(ratios), math.fsum(ratios), max(ratios), at_one))
+        else:
+            rows.append((0, 0.0, -math.inf, 0))
+    return _reduce_profile(rows), ProfileStats(sources=len(chosen), settles=settles)
 
-    if exact:
-        for source in vertices:
-            base_distances = single_source_distances(spanner.base, source)
-            spanner_distances = single_source_distances(spanner.subgraph, source)
-            for target, original in base_distances.items():
-                if target <= source if isinstance(target, int) and isinstance(source, int) else target == source:
-                    continue
-                if original == 0.0:
-                    continue
-                stretches.append(spanner_distances.get(target, math.inf) / original)
-    else:
-        rng = random.Random(seed)
+
+def _profile_sampled(
+    spanner: Spanner,
+    samples: int,
+    seed: Optional[int],
+    mode: str,
+    engine: Optional[VerificationEngine],
+) -> tuple[StretchProfile, ProfileStats]:
+    """Sampled profile; the indexed mode caches one SSSP row per sampled source."""
+    rng = random.Random(seed)
+    vertices = list(spanner.base.vertices())
+    stretches: list[float] = []
+    settles = 0
+    if mode == "reference":
+        metric = getattr(spanner.base, "metric", None)
         for _ in range(samples):
             u, v = rng.sample(vertices, 2)
-            original = pair_distance(spanner.base, u, v)
+            if metric is not None:
+                original = spanner.base.weight(u, v)
+            else:
+                original = pair_distance(spanner.base, u, v)
             if original == 0.0 or math.isinf(original):
                 continue
             stretches.append(pair_distance(spanner.subgraph, u, v) / original)
+        return _profile_from_samples(stretches), ProfileStats(sources=samples, settles=0)
 
+    if engine is None:
+        engine = VerificationEngine(spanner.base, spanner.subgraph)
+    pairs = [tuple(rng.sample(vertices, 2)) for _ in range(samples)]
+    distances, sources, settles = _sampled_pair_distances(engine, pairs)
+    stretches = [sub_distance / base_distance for base_distance, sub_distance in distances]
+    return _profile_from_samples(stretches), ProfileStats(sources=sources, settles=settles)
+
+
+def _profile_from_samples(stretches: list[float]) -> StretchProfile:
+    """Reduce a flat sampled ratio list (one ``fsum``; sampled rows have no
+    per-source structure to preserve)."""
     if not stretches:
         return StretchProfile(0, 1.0, 1.0, 1.0)
     at_one = sum(1 for s in stretches if s <= 1.0 + 1e-9)
     return StretchProfile(
         pairs_checked=len(stretches),
         max_stretch=max(stretches),
-        mean_stretch=sum(stretches) / len(stretches),
+        mean_stretch=math.fsum(stretches) / len(stretches),
         fraction_at_stretch_one=at_one / len(stretches),
     )

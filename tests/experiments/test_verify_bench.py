@@ -1,0 +1,155 @@
+"""Unit tests for the verification bench and the sharded parallel executor."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.harness import (
+    available_workers,
+    deterministic_shards,
+    fork_available,
+    merge_counters,
+    resolve_worker_count,
+    run_sharded,
+)
+from repro.experiments.verify_bench import (
+    OPERATION_COUNT_KEYS,
+    VERIFY_PRESETS,
+    merge_run_into_file,
+    profile_source_vertices,
+    render_rows,
+    run_verify_bench,
+    verify_workload,
+    workload_key,
+)
+from repro.experiments.overlay_bench import geometric_workload
+
+
+def _square(shard: list[int]) -> list[int]:
+    return [value * value for value in shard]
+
+
+class TestShardedExecutor:
+    def test_shards_are_contiguous_and_cover(self):
+        items = list(range(23))
+        for count in (1, 2, 5, 23, 40):
+            shards = deterministic_shards(items, count)
+            assert [x for shard in shards for x in shard] == items
+            assert all(shards)
+            sizes = [len(shard) for shard in shards]
+            assert max(sizes) - min(sizes) <= 1
+
+    def test_empty_items(self):
+        assert deterministic_shards([], 4) == []
+
+    def test_run_sharded_preserves_order(self):
+        shards = deterministic_shards(list(range(17)), 6)
+        inline = run_sharded(_square, shards, workers=1)
+        assert [x for part in inline for x in part] == [i * i for i in range(17)]
+        if fork_available():
+            parallel = run_sharded(_square, shards, workers=3)
+            assert parallel == inline
+
+    def test_resolve_worker_count(self):
+        assert resolve_worker_count(None) == 1
+        assert resolve_worker_count(0) == 1
+        assert resolve_worker_count(4) == 4
+        assert resolve_worker_count(-1) == available_workers()
+
+    def test_merge_counters(self):
+        merged = merge_counters([{"a": 1, "b": 2}, {"a": 3}, {"c": 5}])
+        assert merged == {"a": 4, "b": 2, "c": 5}
+
+
+class TestVerifyBench:
+    @pytest.fixture(scope="class")
+    def small_run(self):
+        return run_verify_bench(
+            verify_workload(geometric_workload(n=60, radius=0.3), "greedy")
+        )
+
+    def test_record_shape(self, small_run):
+        assert set(small_run["strategies"]) == {"indexed", "reference"}
+        for record in small_run["strategies"].values():
+            for counter in OPERATION_COUNT_KEYS:
+                assert counter in record
+            assert record["verify_ok"] == 1.0
+        assert small_run["verdicts_match"] is True
+        assert small_run["profiles_match"] is True
+        assert "speedup_vs_reference" in small_run
+
+    def test_profiles_bit_identical_across_modes(self, small_run):
+        indexed = small_run["strategies"]["indexed"]
+        reference = small_run["strategies"]["reference"]
+        for field in ("pairs_checked", "max_stretch", "mean_stretch", "fraction_at_stretch_one"):
+            assert indexed[field] == reference[field], field
+
+    def test_workload_key_includes_builder(self):
+        workload = verify_workload(geometric_workload(n=60), "mst")
+        assert workload_key(workload).endswith("-bmst")
+
+    def test_presets_include_cross_check_and_scale_rows(self):
+        dual = [
+            key for key, (_, modes, _) in VERIFY_PRESETS.items() if set(modes) == {
+                "indexed", "reference"
+            }
+        ]
+        assert dual, "at least one dual-mode cross-check row must stay in CI"
+        scale = [
+            key for key, (workload, _, _) in VERIFY_PRESETS.items()
+            if int(workload["n"]) >= 10_000
+        ]
+        assert scale, "the n=10^4 exact edge-verification row is the headline"
+
+    def test_profile_source_vertices_stride(self):
+        from repro.graph.generators import path_graph
+
+        graph = path_graph(10)
+        assert profile_source_vertices(graph, None) is None
+        chosen = profile_source_vertices(graph, 3)
+        assert len(chosen) == 3
+        assert chosen == [0, 3, 6]
+        assert profile_source_vertices(graph, 100) == list(range(10))
+
+    def test_merge_run_into_file(self, small_run, tmp_path):
+        path = tmp_path / "BENCH_verify.json"
+        document = merge_run_into_file(path, small_run)
+        key = workload_key(small_run["workload"])
+        assert key in document["runs"]
+        again = json.loads(path.read_text())
+        assert again["runs"][key]["verdicts_match"] is True
+        rows = render_rows(small_run)
+        assert {row["mode"] for row in rows} == {"indexed", "reference"}
+
+    def test_regression_gate_flags_cross_check_failures(self, small_run, tmp_path):
+        import sys
+
+        sys.path.insert(0, "scripts")
+        try:
+            from check_bench_regression import find_regressions
+        finally:
+            sys.path.pop(0)
+        baseline_doc = {"runs": {workload_key(small_run["workload"]): small_run}}
+        fresh_run = json.loads(json.dumps(small_run))
+        fresh_doc = {"runs": {workload_key(small_run["workload"]): fresh_run}}
+        assert find_regressions(baseline_doc, fresh_doc) == []
+        fresh_run["profiles_match"] = False
+        assert any("profiles_match" in problem for problem in find_regressions(baseline_doc, fresh_doc))
+        fresh_run["profiles_match"] = True
+        fresh_run["strategies"]["indexed"]["verify_settles"] *= 2.0
+        assert any(
+            "verify_settles" in problem for problem in find_regressions(baseline_doc, fresh_doc)
+        )
+
+    def test_workers_do_not_change_the_record(self):
+        workload = verify_workload(geometric_workload(n=60, radius=0.3), "greedy")
+        serial = run_verify_bench(workload, modes=("indexed",))
+        parallel = run_verify_bench(workload, modes=("indexed",), workers=2)
+        serial_record = serial["strategies"]["indexed"]
+        parallel_record = parallel["strategies"]["indexed"]
+        for field, value in serial_record.items():
+            if field.endswith("_seconds"):
+                continue
+            assert parallel_record[field] == value, field

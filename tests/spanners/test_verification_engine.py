@@ -1,0 +1,275 @@
+"""Property tests for the indexed batch verification engine.
+
+Three contracts are driven over random inputs:
+
+* **mode equivalence** — the indexed engine and the seed per-pair reference
+  agree on every verdict (edge, sampled, Lemma 3) and produce *bit-identical*
+  stretch-profile floats, on weighted graphs with dyadic tie-heavy weights
+  (the adversarial family for float-boundary verdicts), on string-vertex
+  graphs (the family the seed dedup bug double-counted), and on lazy metric
+  closures;
+* **dedup correctness** — exact profiles count each unordered pair exactly
+  once whatever the vertex type (regression for the seed's int-only
+  ``target <= source`` skip);
+* **parallel determinism** — sharding the per-source loops across worker
+  processes changes nothing: same profile floats, same merged operation
+  counters for 1 and N workers.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.greedy import greedy_spanner
+from repro.core.optimality import is_t_spanner_of, verify_lemma3_self_spanner
+from repro.core.spanner import Spanner
+from repro.graph.generators import random_connected_graph
+from repro.graph.mst import kruskal_mst, mst_weight, mst_weight_indexed
+from repro.graph.weighted_graph import WeightedGraph
+from repro.metric.generators import uniform_points
+from repro.spanners.registry import build_spanner
+from repro.spanners.verification import (
+    VerificationEngine,
+    stretch_profile,
+    stretch_profile_detailed,
+    verify_spanner_edges,
+    verify_spanner_edges_detailed,
+    verify_spanner_sampled,
+)
+
+# Dyadic weights (multiples of 1/8): sums and ratios hit exact float ties,
+# the adversarial family for threshold verdicts and bit-identity claims.
+dyadic_graphs = st.builds(
+    lambda n, seed, picks: _dyadic_graph(n, seed, picks),
+    st.integers(min_value=4, max_value=14),
+    st.integers(min_value=0, max_value=10_000),
+    st.lists(st.integers(min_value=1, max_value=16), min_size=1, max_size=6),
+)
+
+
+def _dyadic_graph(n: int, seed: int, picks: list[int]) -> WeightedGraph:
+    """A connected random graph whose weights are dyadic rationals from ``picks``."""
+    import random
+
+    base = random_connected_graph(n, 0.4, seed=seed)
+    rng = random.Random(seed)
+    graph = WeightedGraph(vertices=base.vertices())
+    for u, v, _ in base.edges():
+        graph.add_edge(u, v, rng.choice(picks) / 8.0)
+    return graph
+
+
+def _string_relabelled(graph: WeightedGraph) -> WeightedGraph:
+    """The same graph with string vertex labels (the seed dedup bug's family)."""
+    relabelled = WeightedGraph(vertices=(f"v{u}" for u in graph.vertices()))
+    for u, v, weight in graph.edges():
+        relabelled.add_edge(f"v{u}", f"v{v}", weight)
+    return relabelled
+
+
+class TestModeEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(graph=dyadic_graphs, stretch=st.sampled_from([1.25, 1.5, 2.0, 3.0]))
+    def test_dyadic_graphs(self, graph, stretch):
+        spanner = greedy_spanner(graph, stretch)
+        for candidate in (spanner.subgraph, kruskal_mst(graph)):
+            indexed = verify_spanner_edges(candidate, graph, stretch, mode="indexed")
+            reference = verify_spanner_edges(candidate, graph, stretch, mode="reference")
+            assert indexed == reference
+        profile_indexed = stretch_profile(spanner, exact=True, mode="indexed")
+        profile_reference = stretch_profile(spanner, exact=True, mode="reference")
+        assert profile_indexed == profile_reference  # bit-identical floats
+
+    @settings(max_examples=15, deadline=None)
+    @given(graph=dyadic_graphs, stretch=st.sampled_from([1.5, 2.0]))
+    def test_string_vertex_graphs(self, graph, stretch):
+        relabelled = _string_relabelled(graph)
+        spanner = greedy_spanner(relabelled, stretch)
+        assert verify_spanner_edges(
+            spanner.subgraph, relabelled, stretch, mode="indexed"
+        ) == verify_spanner_edges(spanner.subgraph, relabelled, stretch, mode="reference")
+        profile_indexed = stretch_profile(spanner, exact=True, mode="indexed")
+        profile_reference = stretch_profile(spanner, exact=True, mode="reference")
+        assert profile_indexed == profile_reference
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        graph=dyadic_graphs,
+        stretch=st.sampled_from([1.5, 2.0]),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_sampled_verdicts(self, graph, stretch, seed):
+        spanner = greedy_spanner(graph, stretch)
+        assert verify_spanner_sampled(
+            spanner, samples=40, seed=seed, mode="indexed"
+        ) == verify_spanner_sampled(spanner, samples=40, seed=seed, mode="reference")
+        weak = Spanner(
+            base=graph, subgraph=kruskal_mst(graph), stretch=1.01, algorithm="mst"
+        )
+        assert verify_spanner_sampled(
+            weak, samples=40, seed=seed, mode="indexed"
+        ) == verify_spanner_sampled(weak, samples=40, seed=seed, mode="reference")
+
+    @settings(max_examples=10, deadline=None)
+    @given(graph=dyadic_graphs, stretch=st.sampled_from([1.5, 2.0]))
+    def test_lemma3_modes(self, graph, stretch):
+        spanner = greedy_spanner(graph, stretch)
+        assert verify_lemma3_self_spanner(spanner, mode="indexed") == verify_lemma3_self_spanner(
+            spanner, mode="reference"
+        )
+
+    def test_metric_closure_modes(self):
+        metric = uniform_points(60, 2, seed=11)
+        spanner = build_spanner("theta", metric, 1.5)
+        for mode in ("indexed", "reference"):
+            assert verify_spanner_edges(spanner.subgraph, spanner.base, 1.5, mode=mode)
+        profile_indexed = stretch_profile(spanner, exact=True, mode="indexed")
+        profile_reference = stretch_profile(spanner, exact=True, mode="reference")
+        assert profile_indexed == profile_reference
+
+    def test_is_t_spanner_of_modes(self, medium_random_graph):
+        spanner = greedy_spanner(medium_random_graph, 2.0)
+        mst = kruskal_mst(medium_random_graph)
+        for candidate, expected in ((spanner.subgraph, True), (mst, None)):
+            indexed = is_t_spanner_of(candidate, medium_random_graph, 2.0, mode="indexed")
+            reference = is_t_spanner_of(candidate, medium_random_graph, 2.0, mode="reference")
+            assert indexed == reference
+            if expected is not None:
+                assert indexed is expected
+
+    def test_counters_are_shared_across_modes(self, small_random_graph):
+        """Pair/edge counts (not settles — the algorithms differ) line up."""
+        spanner = greedy_spanner(small_random_graph, 2.0)
+        indexed = verify_spanner_edges_detailed(
+            spanner.subgraph, small_random_graph, 2.0, mode="indexed"
+        )
+        reference = verify_spanner_edges_detailed(
+            spanner.subgraph, small_random_graph, 2.0, mode="reference"
+        )
+        assert indexed.ok and reference.ok
+        assert indexed.edges_checked == reference.edges_checked
+        assert indexed.sources == reference.sources
+        _, stats_indexed = stretch_profile_detailed(spanner, exact=True, mode="indexed")
+        _, stats_reference = stretch_profile_detailed(spanner, exact=True, mode="reference")
+        assert stats_indexed.sources == stats_reference.sources
+
+
+class TestPairDedup:
+    def test_string_vertices_count_each_pair_once(self):
+        """Regression: the seed's ``target <= source`` skip only deduped ints,
+        so string-labelled graphs counted every pair twice."""
+        graph = WeightedGraph()
+        graph.add_edge("a", "b", 1.0)
+        graph.add_edge("b", "c", 1.0)
+        graph.add_edge("c", "d", 1.0)
+        spanner = greedy_spanner(graph, 2.0)
+        for mode in ("indexed", "reference"):
+            profile = stretch_profile(spanner, exact=True, mode=mode)
+            assert profile.pairs_checked == 6, mode  # C(4, 2), not 12
+
+    def test_int_vertices_unchanged(self, small_random_graph):
+        spanner = greedy_spanner(small_random_graph, 2.0)
+        n = small_random_graph.number_of_vertices
+        profile = stretch_profile(spanner, exact=True)
+        assert profile.pairs_checked == n * (n - 1) // 2
+
+    def test_orientation_is_shared_id_order(self):
+        """Both modes measure each pair from its smaller shared-id endpoint,
+        whatever the vertex insertion order."""
+        graph = WeightedGraph()
+        graph.add_edge(9, 2, 1.0)
+        graph.add_edge(2, 5, 2.0)
+        graph.add_edge(9, 5, 2.5)
+        spanner = greedy_spanner(graph, 2.0)
+        assert stretch_profile(spanner, exact=True, mode="indexed") == stretch_profile(
+            spanner, exact=True, mode="reference"
+        )
+
+
+class TestParallelDeterminism:
+    @settings(max_examples=6, deadline=None)
+    @given(graph=dyadic_graphs, stretch=st.sampled_from([1.5, 2.0]))
+    def test_profile_workers_identical(self, graph, stretch):
+        spanner = greedy_spanner(graph, stretch)
+        engine = VerificationEngine(graph, spanner.subgraph)
+        baseline, stats_1 = stretch_profile_detailed(
+            spanner, exact=True, workers=1, engine=engine
+        )
+        for workers in (2, 3):
+            parallel, stats_n = stretch_profile_detailed(
+                spanner, exact=True, workers=workers, engine=engine
+            )
+            assert parallel == baseline  # bit-identical floats
+            assert stats_n.counters() == stats_1.counters()  # merged counters
+
+    def test_verify_workers_identical(self, medium_random_graph):
+        spanner = greedy_spanner(medium_random_graph, 2.0)
+        baseline = verify_spanner_edges_detailed(
+            spanner.subgraph, medium_random_graph, 2.0, workers=1
+        )
+        for workers in (2, 4):
+            parallel = verify_spanner_edges_detailed(
+                spanner.subgraph, medium_random_graph, 2.0, workers=workers
+            )
+            assert parallel == baseline
+
+    def test_profile_sources_subset_is_exact_per_source(self, medium_random_graph):
+        """A restricted source shard reproduces exactly the full sweep's rows
+        for those sources (here: all sources, so the full profile)."""
+        spanner = greedy_spanner(medium_random_graph, 2.0)
+        vertices = list(medium_random_graph.vertices())
+        full = stretch_profile(spanner, exact=True)
+        assert stretch_profile(spanner, exact=True, sources=vertices) == full
+        some = stretch_profile(spanner, exact=True, sources=vertices[:5])
+        assert 0 < some.pairs_checked < full.pairs_checked
+
+
+class TestMstFastPath:
+    def test_indexed_prim_matches_kruskal(self, medium_random_graph):
+        assert mst_weight_indexed(medium_random_graph) == pytest.approx(
+            mst_weight(medium_random_graph)
+        )
+
+    def test_disconnected_raises(self):
+        from repro.errors import DisconnectedGraphError
+
+        graph = WeightedGraph(edges=[(0, 1, 1.0), (2, 3, 1.0)])
+        with pytest.raises(DisconnectedGraphError):
+            mst_weight_indexed(graph)
+
+    def test_metric_closure_keeps_dense_dispatch(self):
+        from repro.metric.closure import MetricClosure
+
+        closure = MetricClosure(uniform_points(40, 2, seed=3))
+        assert mst_weight_indexed(closure) == pytest.approx(mst_weight(closure))
+
+
+def test_engine_reuse_across_checks(small_random_graph):
+    """One engine serves edge check, profile and sampled check identically."""
+    spanner = greedy_spanner(small_random_graph, 2.0)
+    engine = VerificationEngine(small_random_graph, spanner.subgraph)
+    assert verify_spanner_edges(
+        spanner.subgraph, small_random_graph, 2.0, engine=engine
+    ) == verify_spanner_edges(spanner.subgraph, small_random_graph, 2.0)
+    assert stretch_profile(spanner, exact=True, engine=engine) == stretch_profile(
+        spanner, exact=True
+    )
+    assert verify_spanner_sampled(spanner, samples=30, seed=2, engine=engine) is True
+
+
+def test_unknown_mode_rejected(small_random_graph):
+    spanner = greedy_spanner(small_random_graph, 2.0)
+    with pytest.raises(ValueError):
+        verify_spanner_edges(spanner.subgraph, small_random_graph, 2.0, mode="turbo")
+    with pytest.raises(ValueError):
+        stretch_profile(spanner, mode="turbo")
+
+
+def test_disconnected_subgraph_fails_verification(small_random_graph):
+    """An empty subgraph spans nothing: inf distances must fail both modes."""
+    empty = small_random_graph.empty_spanning_subgraph()
+    for mode in ("indexed", "reference"):
+        assert not verify_spanner_edges(empty, small_random_graph, 100.0, mode=mode)

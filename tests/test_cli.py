@@ -198,3 +198,58 @@ class TestCommands:
             ["bench-overlays", "--workloads", "no-such-row", "--output", str(out)]
         ) == 2
         assert "unknown overlay workloads" in capsys.readouterr().out
+
+    def test_bench_verify_writes_trajectory(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "BENCH_verify.json"
+        assert main(
+            ["bench-verify", "--n", "50", "--radius", "0.3", "--builder", "greedy",
+             "--output", str(out)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "verify matrix: geometric-n50" in output
+        assert "verdicts_match: True" in output
+        assert "profiles_match: True" in output
+        run = json.loads(out.read_text())["runs"]["geometric-n50-r0.3-seed7-t1.5-bgreedy"]
+        assert set(run["strategies"]) == {"indexed", "reference"}
+        for record in run["strategies"].values():
+            assert record["verify_settles"] > 0
+            assert record["profile_settles"] > 0
+
+    def test_bench_verify_single_mode_and_workers(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_verify.json"
+        assert main(
+            ["bench-verify", "--n", "50", "--radius", "0.3", "--modes", "indexed",
+             "--workers", "2", "--profile-sources", "10", "--output", str(out)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "verdicts_match" not in output  # single mode: nothing to cross-check
+
+    def test_bench_verify_rejects_unknown_mode(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_verify.json"
+        assert main(
+            ["bench-verify", "--n", "50", "--modes", "psychic", "--output", str(out)]
+        ) == 2
+        assert "unknown verification modes" in capsys.readouterr().out
+
+    def test_bench_verify_rejects_unknown_workload_key(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_verify.json"
+        assert main(
+            ["bench-verify", "--workloads", "no-such-row", "--output", str(out)]
+        ) == 2
+        assert "unknown verify workloads" in capsys.readouterr().out
+
+    def test_bench_verify_rejects_builder_workload_mismatch(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_verify.json"
+        assert main(
+            ["bench-verify", "--kind", "graph", "--n", "30", "--builder", "theta",
+             "--output", str(out)]
+        ) == 2
+        assert "cannot bench" in capsys.readouterr().out
+
+    def test_experiment_e12_quick(self, capsys):
+        assert main(["experiment", "E12", "--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "[E12]" in output
+        assert "verdicts_match=True" in output
