@@ -20,6 +20,20 @@ cross-check flags (``verdicts_match`` / ``profiles_match`` — the indexed
 engine reproducing the reference verdicts and bit-identical profile
 floats) are false always fails the gate.
 
+The fault-injection benchmark (``repro bench-faults``) emits ``fault_*``
+retry/loss protocol counters plus the self-healing ``repair_settles`` /
+``rebuild_settles`` replay counters; pass ``--fresh-faults`` /
+``--baseline-faults`` to gate it too.  Fault runs get three extra checks on
+top of the counter diff: the cross-check flags (``delivery_complete``,
+``repair_matches_rebuild``, ``post_repair_verified``,
+``fault_replay_match``) must not be false, the ``delivery_rate`` must never
+drop below the baseline's (a floor, not a ratio — losing delivery is a
+correctness regression at any magnitude), and every run marked
+``gate_repair_speedup`` must record a repair-vs-rebuild settle speedup of
+at least ``--min-repair-speedup`` (default 5×, the ISSUE's acceptance bar;
+checked in *both* documents, so the committed scale-row evidence is
+re-validated even when CI regenerates only the small rows).
+
 Usage (standalone)::
 
     python scripts/check_bench_regression.py \
@@ -29,6 +43,8 @@ Usage (standalone)::
         --baseline-overlays benchmarks/BENCH_overlays.json \
         --fresh-verify BENCH_verify.json \
         --baseline-verify benchmarks/BENCH_verify.json \
+        --fresh-faults BENCH_faults.json \
+        --baseline-faults benchmarks/BENCH_faults.json \
         --threshold 0.25
 
 Exit code 1 if any strategy's operation count regressed by more than the
@@ -70,11 +86,43 @@ OPERATION_COUNT_KEYS = (
     "overlay_sync_settles",
     "verify_settles",
     "profile_settles",
+    # Fault-injection trajectory (repro.experiments.fault_bench): hardened
+    # protocol counters and the self-healing replay counters.
+    "fault_messages",
+    "fault_data_sends",
+    "fault_retries",
+    "fault_acks",
+    "fault_duplicates",
+    "fault_timers",
+    "fault_give_ups",
+    "fault_lost",
+    "fault_events",
+    "fault_echo_messages",
+    "fault_echo_retries",
+    "fault_echo_give_ups",
+    "repair_settles",
+    "repair_queries",
+    "rebuild_settles",
+    "replayed_edges",
+    "detours",
+    "undelivered",
 )
 
 #: Boolean cross-check flags a fresh run must not record as false
 #: (``identical_edge_sets`` and friends are handled explicitly below).
-CROSS_CHECK_FLAGS = ("verdicts_match", "profiles_match")
+#: Missing flags pass — each trajectory only records the flags it defines.
+CROSS_CHECK_FLAGS = (
+    "verdicts_match",
+    "profiles_match",
+    "delivery_complete",
+    "repair_matches_rebuild",
+    "post_repair_verified",
+    "fault_replay_match",
+)
+
+#: Default minimum repair-vs-rebuild settle speedup on runs marked
+#: ``gate_repair_speedup`` (the fault trajectory's scale-row acceptance bar).
+DEFAULT_MIN_REPAIR_SPEEDUP = 5.0
 
 
 def load_document(path: str | Path) -> dict:
@@ -83,18 +131,41 @@ def load_document(path: str | Path) -> dict:
 
 
 def find_regressions(
-    baseline: dict, fresh: dict, *, threshold: float = DEFAULT_THRESHOLD
+    baseline: dict,
+    fresh: dict,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_repair_speedup: float = DEFAULT_MIN_REPAIR_SPEEDUP,
 ) -> list[str]:
     """Return human-readable regression descriptions (empty list = all good).
 
     Only workload keys and strategies present in *both* documents are
-    compared; a regression is a fresh operation count exceeding the baseline
-    count by more than ``threshold`` (fractional, e.g. 0.25 = +25%).  An
-    edge-set mismatch recorded in the fresh run is always reported.
+    compared for counters; a regression is a fresh operation count exceeding
+    the baseline count by more than ``threshold`` (fractional, e.g. 0.25 =
+    +25%).  An edge-set mismatch or false cross-check flag recorded in the
+    fresh run is always reported, a fresh ``delivery_rate`` below the
+    baseline's fails regardless of threshold, and the
+    ``gate_repair_speedup`` bar is checked in both documents (baseline rows
+    carry committed evidence even when not regenerated fresh).
     """
     problems: list[str] = []
     baseline_runs = baseline.get("runs", {})
     fresh_runs = fresh.get("runs", {})
+    # The speedup gate scans both documents — a gated row whose committed
+    # evidence falls below the bar is a problem even if CI didn't rerun it.
+    seen_gated: set[str] = set()
+    for label, runs in (("fresh", fresh_runs), ("baseline", baseline_runs)):
+        for key, run in sorted(runs.items()):
+            if not run.get("gate_repair_speedup") or key in seen_gated:
+                continue
+            seen_gated.add(key)
+            speedup = float(run.get("repair_speedup", 0.0))
+            if speedup < min_repair_speedup:
+                problems.append(
+                    f"{key}: {label} repair speedup {speedup:.2f}x is below the "
+                    f"required {min_repair_speedup:.2f}x (rebuild_settles / "
+                    "repair_settles on a gated row)"
+                )
     shared = sorted(set(baseline_runs) & set(fresh_runs))
     if not shared:
         problems.append("no shared workload keys between baseline and fresh runs")
@@ -111,8 +182,16 @@ def find_regressions(
         for flag in CROSS_CHECK_FLAGS:
             if not fresh_run.get(flag, True):
                 problems.append(
-                    f"{key}: {flag} is false — the indexed verification engine "
-                    "diverged from the reference mode"
+                    f"{key}: {flag} is false — a cross-checked engine diverged "
+                    "or a guarantee was violated in the fresh run"
+                )
+        base_rate = baseline_runs[key].get("delivery_rate")
+        fresh_rate = fresh_run.get("delivery_rate")
+        if base_rate is not None and fresh_rate is not None:
+            if fresh_rate < base_rate - 1e-12:
+                problems.append(
+                    f"{key}: delivery_rate dropped from {base_rate:.4f} to "
+                    f"{fresh_rate:.4f} (the floor is the baseline rate)"
                 )
         base_strategies = baseline_runs[key].get("strategies", {})
         fresh_strategies = fresh_run.get("strategies", {})
@@ -170,10 +249,29 @@ def main(argv: list[str] | None = None) -> int:
         help="committed verification baseline trajectory",
     )
     parser.add_argument(
+        "--fresh-faults",
+        default=None,
+        help="freshly emitted fault trajectory (BENCH_faults.json); optional",
+    )
+    parser.add_argument(
+        "--baseline-faults",
+        default="benchmarks/BENCH_faults.json",
+        help="committed fault baseline trajectory",
+    )
+    parser.add_argument(
         "--threshold",
         type=float,
         default=DEFAULT_THRESHOLD,
         help="allowed fractional operation-count increase (0.25 = +25%%)",
+    )
+    parser.add_argument(
+        "--min-repair-speedup",
+        type=float,
+        default=DEFAULT_MIN_REPAIR_SPEEDUP,
+        help=(
+            "minimum rebuild/repair settle ratio required of fault runs "
+            "marked gate_repair_speedup (checked in baseline and fresh)"
+        ),
     )
     args = parser.parse_args(argv)
 
@@ -182,6 +280,8 @@ def main(argv: list[str] | None = None) -> int:
         pairs.append(("overlays", args.baseline_overlays, args.fresh_overlays))
     if args.fresh_verify is not None:
         pairs.append(("verify", args.baseline_verify, args.fresh_verify))
+    if args.fresh_faults is not None:
+        pairs.append(("faults", args.baseline_faults, args.fresh_faults))
 
     problems: list[str] = []
     for label, baseline_path, fresh_path in pairs:
@@ -195,6 +295,7 @@ def main(argv: list[str] | None = None) -> int:
                 load_document(baseline_path),
                 load_document(fresh_path),
                 threshold=args.threshold,
+                min_repair_speedup=args.min_repair_speedup,
             )
         )
     if problems:

@@ -5,7 +5,7 @@ Entry points (also usable as ``python -m repro.cli <command>``):
 * ``list-workloads`` — print the workload registry.
 * ``list-builders`` — print the spanner-builder registry.
 * ``figure1`` — reproduce the paper's Figure 1 example.
-* ``experiment <id>`` — run one experiment from DESIGN.md's index (E1–E12)
+* ``experiment <id>`` — run one experiment from DESIGN.md's index (E1–E13)
   and print its table.  ``--quick`` shrinks the workloads.
 * ``compare`` — run the Euclidean construction comparison on a chosen
   workload size and stretch.
@@ -31,6 +31,13 @@ Entry points (also usable as ``python -m repro.cli <command>``):
   bit-identical cross-check verdicts and merge the deterministic
   ``verify_settles`` / ``profile_settles`` counters into a
   ``BENCH_verify.json`` trajectory gated by the same regression script.
+* ``bench-faults`` — sample a seeded fault plan over a greedy-spanner
+  overlay, run the hardened (ack/timeout/retry) flood and echo once per
+  engine mode, self-heal the spanner around the failed edges (cross-checked
+  bit-identical against a from-scratch rebuild), route demands with detour
+  forwarding, and merge the delivery/retry/repair counters into a
+  ``BENCH_faults.json`` trajectory gated by the same regression script
+  (see docs/RESILIENCE.md).
 
 The CLI exists so the repository can be exercised without writing Python —
 e.g. ``python -m repro.cli experiment E3``.
@@ -62,6 +69,7 @@ _EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "E10": exp.experiment_oracle_matrix,
     "E11": exp.experiment_overlay_matrix,
     "E12": exp.experiment_verify_matrix,
+    "E13": exp.experiment_fault_matrix,
 }
 
 _QUICK_ARGUMENTS: dict[str, dict[str, object]] = {
@@ -77,6 +85,7 @@ _QUICK_ARGUMENTS: dict[str, dict[str, object]] = {
     "E10": {"n": 60},
     "E11": {"n": 60},
     "E12": {"n": 60},
+    "E13": {"n": 60},
 }
 
 
@@ -436,6 +445,81 @@ def _command_bench_verify(args: argparse.Namespace) -> int:
     return 0 if all_consistent else 1
 
 
+def _command_bench_faults(args: argparse.Namespace) -> int:
+    from repro.experiments.fault_bench import (
+        DEFAULT_MODES,
+        FAULT_PRESETS,
+        fault_workload,
+        merge_run_into_file,
+        render_rows,
+        run_fault_bench,
+        run_flags,
+        workload_key,
+    )
+    from repro.experiments.overlay_bench import geometric_workload
+
+    modes: Optional[tuple[str, ...]] = None
+    if args.modes is not None:
+        modes = tuple(name.strip() for name in args.modes.split(",") if name.strip())
+        unknown = [name for name in modes if name not in DEFAULT_MODES]
+        if not modes or unknown:
+            print(
+                f"unknown engine modes: {', '.join(unknown) or '(none given)'}; "
+                f"valid names: {', '.join(DEFAULT_MODES)}"
+            )
+            return 2
+
+    # Assemble (workload, modes) rows: named preset rows (--workloads) or one
+    # ad-hoc geometric workload from the flags — the same shape as the other
+    # bench commands.
+    rows: list[tuple[dict[str, object], tuple[str, ...]]] = []
+    if args.workloads:
+        requested = [key.strip() for key in args.workloads.split(",") if key.strip()]
+        if requested == ["all"]:
+            requested = list(FAULT_PRESETS)
+        unknown_keys = [key for key in requested if key not in FAULT_PRESETS]
+        if not requested or unknown_keys:
+            print(
+                f"unknown fault workloads: {', '.join(unknown_keys) or '(none given)'}; "
+                "valid keys (or 'all'):"
+            )
+            for key in FAULT_PRESETS:
+                print(f"  {key}")
+            return 2
+        for key in requested:
+            workload, default_modes = FAULT_PRESETS[key]
+            rows.append((workload, modes or default_modes))
+    else:
+        workload = fault_workload(
+            geometric_workload(
+                n=args.n, radius=args.radius, seed=args.seed, stretch=args.stretch
+            ),
+            fault_seed=args.fault_seed,
+            edge_failure_rate=args.edge_failure_rate,
+            failure_band=args.failure_band,
+            node_crash_rate=args.node_crash_rate,
+            drop_rate=args.drop_rate,
+            delay_jitter=args.delay_jitter,
+            repair_oracle=args.repair_oracle,
+        )
+        rows.append((workload, modes or DEFAULT_MODES))
+
+    all_ok = True
+    for workload, row_modes in rows:
+        run = run_fault_bench(workload, modes=row_modes, demand_count=args.demands)
+        merge_run_into_file(args.output, run)
+        print(render_table(render_rows(run), title=f"fault matrix: {workload_key(workload)}"))
+        print(f"fault plan: {run['fault_plan']}")
+        print(f"delivery_rate: {run['delivery_rate']:.3f}")
+        if "repair_speedup" in run:
+            print(f"repair vs rebuild: {run['repair_speedup']:.2f}x fewer settles")
+        for name, value in sorted(run_flags(run).items()):
+            print(f"{name}: {value}")
+            all_ok = all_ok and bool(value)
+    print(f"trajectory written to {args.output}")
+    return 0 if all_ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed separately for testing)."""
     parser = argparse.ArgumentParser(
@@ -458,7 +542,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure1_parser.add_argument("--stretch", type=float, default=3.0)
     figure1_parser.set_defaults(handler=_command_figure1)
 
-    experiment_parser = subparsers.add_parser("experiment", help="run one experiment (E1-E12)")
+    experiment_parser = subparsers.add_parser("experiment", help="run one experiment (E1-E13)")
     experiment_parser.add_argument("id", help="experiment id, e.g. E3")
     experiment_parser.add_argument("--quick", action="store_true", help="use reduced workloads")
     experiment_parser.set_defaults(handler=_command_experiment)
@@ -691,6 +775,84 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default="BENCH_verify.json", help="JSON trajectory file to merge into"
     )
     verify_parser.set_defaults(handler=_command_bench_verify)
+
+    faults_parser = subparsers.add_parser(
+        "bench-faults",
+        help=(
+            "benchmark the hardened flood/echo, self-healing repair and "
+            "detour routing under a seeded fault plan and emit "
+            "BENCH_faults.json"
+        ),
+    )
+    faults_parser.add_argument(
+        "--n", type=int, default=300, help="geometric workload size (ad-hoc rows)"
+    )
+    faults_parser.add_argument(
+        "--radius", type=float, default=0.12, help="geometric connection radius"
+    )
+    faults_parser.add_argument("--seed", type=int, default=7, help="workload seed")
+    faults_parser.add_argument("--stretch", type=float, default=1.5)
+    faults_parser.add_argument(
+        "--fault-seed", type=int, default=11, help="seed of the fault plan"
+    )
+    faults_parser.add_argument(
+        "--edge-failure-rate",
+        type=float,
+        default=0.02,
+        help="fraction of overlay edges that fail",
+    )
+    faults_parser.add_argument(
+        "--failure-band",
+        type=float,
+        default=0.3,
+        help=(
+            "failures are drawn from this heaviest fraction of the "
+            "weight-sorted overlay edges (1.0 = uniform)"
+        ),
+    )
+    faults_parser.add_argument(
+        "--node-crash-rate", type=float, default=0.02, help="fraction of nodes that crash"
+    )
+    faults_parser.add_argument(
+        "--drop-rate", type=float, default=0.05, help="per-transmission loss probability"
+    )
+    faults_parser.add_argument(
+        "--delay-jitter",
+        type=float,
+        default=0.25,
+        help="extra per-message delay as a fraction of the edge weight",
+    )
+    faults_parser.add_argument(
+        "--repair-oracle",
+        choices=sorted(ORACLE_FACTORIES),
+        default="cached",
+        help="distance-oracle strategy of the repair replay and rebuild cross-check",
+    )
+    faults_parser.add_argument(
+        "--demands", type=int, default=32, help="detour-routing demand pairs"
+    )
+    faults_parser.add_argument(
+        "--modes",
+        default=None,
+        help=(
+            "comma-separated engine modes to run (indexed, reference); "
+            "defaults to both for ad-hoc workloads and to each preset row's "
+            "recorded modes with --workloads"
+        ),
+    )
+    faults_parser.add_argument(
+        "--workloads",
+        default=None,
+        help=(
+            "comma-separated fault preset keys (or 'all') to (re)run named "
+            "matrix rows instead of an ad-hoc workload; see the keys in "
+            "benchmarks/BENCH_faults.json"
+        ),
+    )
+    faults_parser.add_argument(
+        "--output", default="BENCH_faults.json", help="JSON trajectory file to merge into"
+    )
+    faults_parser.set_defaults(handler=_command_bench_faults)
 
     return parser
 

@@ -50,6 +50,7 @@ def greedy_spanner(
     oracle: str = "cached",
     progress: Optional[ProgressCallback] = None,
     edges: Optional[Iterable[WeightedEdge]] = None,
+    seed_edges: Optional[Iterable[WeightedEdge]] = None,
 ) -> Spanner:
     """Run the greedy algorithm on ``graph`` with stretch parameter ``t``.
 
@@ -79,6 +80,15 @@ def greedy_spanner(
         materialized list or a generator such as
         :func:`~repro.metric.stream.sorted_pair_stream`; the loop consumes
         it lazily and never holds it whole.
+    seed_edges:
+        Optional edges installed in ``H`` *before* the loop starts (not
+        examined, not counted as added).  This is the warm-start used by
+        self-healing repair (:mod:`repro.core.repair`): seeding the kept
+        prefix of a previous greedy run and replaying only the suffix of
+        the canonical order reproduces the full run's suffix decisions
+        exactly, because the greedy verdict at each position depends only
+        on the ``H`` accumulated so far.  When given, the metadata gains
+        an ``edges_seeded`` counter.
 
     Returns
     -------
@@ -92,6 +102,14 @@ def greedy_spanner(
         raise InvalidStretchError(f"stretch must be at least 1, got {t}")
 
     spanner_graph = graph.empty_spanning_subgraph()
+    seeded = 0
+    if seed_edges is not None:
+        # Installed before the oracle is built, so every strategy sees the
+        # warm-start edges as pre-existing spanner state (the cached oracle
+        # certifies them as bounds at construction time).
+        for u, v, weight in seed_edges:
+            spanner_graph.add_edge(u, v, weight)
+            seeded += 1
     distance_oracle = make_oracle(oracle, spanner_graph)
     if hasattr(distance_oracle, "monotone_cutoffs"):
         # The loop below examines each pair once with non-decreasing cutoffs,
@@ -124,6 +142,8 @@ def greedy_spanner(
         "edges_examined": float(examined),
         "edges_added": float(added),
     }
+    if seed_edges is not None:
+        metadata["edges_seeded"] = float(seeded)
     metadata.update(distance_oracle.extra_metadata())
     return Spanner(
         base=graph,

@@ -200,6 +200,38 @@ class Spanner:
         return True
 
     # ------------------------------------------------------------------
+    # Self-healing
+    # ------------------------------------------------------------------
+    def repair(
+        self,
+        failed_edges: "object",
+        *,
+        oracle: str = "cached",
+        verify: bool = True,
+        cross_check: bool = False,
+    ):
+        """Patch this spanner around failed base edges; see :mod:`repro.core.repair`.
+
+        Replays the greedy suffix of the canonical edge order over the
+        surviving candidate edges (warm-started with the untouched prefix),
+        re-certifies the result, and returns a
+        :class:`~repro.core.repair.RepairResult` whose ``spanner`` is the
+        greedy ``t``-spanner of the surviving graph — bit-identical to a
+        from-scratch rebuild (set ``cross_check=True`` to measure that).
+        Only defined for greedy-built spanners
+        (:class:`~repro.errors.UnrepairableSpannerError` otherwise).
+        """
+        from repro.core.repair import repair_spanner
+
+        return repair_spanner(
+            self,
+            failed_edges,
+            oracle=oracle,
+            verify=verify,
+            cross_check=cross_check,
+        )
+
+    # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     def statistics(self, *, measure_stretch: bool = False) -> SpannerStatistics:

@@ -1,4 +1,10 @@
-"""Distributed-application substrate: broadcast and synchronizers over spanner overlays."""
+"""Distributed-application substrate over spanner overlays.
+
+Broadcast, routing and synchronizers on a perfect network, plus the
+robustness layer: seeded fault plans (:mod:`repro.distributed.faults`),
+ack/retry-hardened protocols (:mod:`repro.distributed.resilient`) and
+detour routing around failed links (:mod:`repro.distributed.routing`).
+"""
 
 from repro.distributed.network import Message, Network, NetworkStatistics
 from repro.distributed.engine import (
@@ -22,12 +28,24 @@ from repro.distributed.synchronizer import (
     synchronizer_cost,
 )
 from repro.distributed.routing import (
+    DetourReport,
     Route,
     RoutingReport,
     RoutingScheme,
     compare_routing_overlays,
+    evaluate_detour_routing,
     evaluate_routing,
     random_demands,
+)
+from repro.distributed.faults import FaultPlan, edge_key
+from repro.distributed.resilient import (
+    ResilientEchoResult,
+    ResilientParams,
+    ResilientResult,
+    ResilientStatistics,
+    delivery_report,
+    resilient_echo,
+    resilient_flood,
 )
 from repro.distributed.comparison import (
     OverlayComparison,
@@ -53,12 +71,23 @@ __all__ = [
     "SynchronizerCost",
     "compare_synchronizer_overlays",
     "synchronizer_cost",
+    "DetourReport",
     "Route",
     "RoutingReport",
     "RoutingScheme",
     "compare_routing_overlays",
+    "evaluate_detour_routing",
     "evaluate_routing",
     "random_demands",
+    "FaultPlan",
+    "edge_key",
+    "ResilientEchoResult",
+    "ResilientParams",
+    "ResilientResult",
+    "ResilientStatistics",
+    "delivery_report",
+    "resilient_echo",
+    "resilient_flood",
     "OverlayComparison",
     "compare_overlays",
     "overlays_from_builders",

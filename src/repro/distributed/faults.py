@@ -1,0 +1,267 @@
+"""Deterministic fault injection for the distributed overlay stack.
+
+Section 1.1 of the paper motivates spanners as broadcast/routing overlays in
+the message-passing model; everything built on that motivation so far assumes
+a perfectly reliable network.  This module supplies the missing failure
+model: a :class:`FaultPlan` describes *when edges die*, *when nodes crash*
+and *which individual messages are dropped or delayed*, and every one of
+those decisions is a pure function of ``(seed, plan parameters)`` — two
+plans sampled with the same arguments are byte-identical, and the reference
+and indexed protocol engines consulting the same plan see exactly the same
+faults, message for message (the tie-for-tie contract the property tests in
+``tests/distributed/test_faults.py`` pin down).
+
+Determinism is achieved without shared mutable RNG state:
+
+* the *schedule* (failed edges, crashed nodes, their times) is sampled once
+  by :meth:`FaultPlan.sample` from a ``random.Random(seed)`` walked over the
+  canonical edge/vertex order, and stored explicitly on the plan;
+* the *per-message* decisions (drop? how much extra delay?) hash the message
+  coordinates — ``(seed, kind, sender, receiver, attempt)`` — through
+  ``zlib.crc32``, which is stable across processes and platforms (unlike
+  built-in ``hash``), so any engine can ask about any message in any order
+  and get the same answer.
+
+Edge failures default to the **heaviest weight band** of the overlay
+(``failure_band``): in the wireless/geometric workloads that motivate the
+distributed stack, the longest links are the marginal radio links and fail
+first.  This is also what makes self-healing repair cheap — see
+:mod:`repro.core.repair` — while ``failure_band=1.0`` recovers uniform
+failures.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional
+
+from repro.graph.weighted_graph import Vertex, WeightedGraph
+
+#: Directed message kinds a plan can drop/delay (each hashes independently).
+MESSAGE_KINDS = ("data", "ack", "echo")
+
+
+def _unit_hash(*parts: object) -> float:
+    """A uniform-looking value in ``[0, 1)`` from a stable hash of ``parts``.
+
+    ``zlib.crc32`` over the ``repr`` of the parts: deterministic across
+    processes (no ``PYTHONHASHSEED`` dependence), cheap, and independent per
+    coordinate tuple — exactly what per-message drop/delay decisions need.
+    """
+    text = "|".join(repr(part) for part in parts)
+    return zlib.crc32(text.encode("utf-8")) / 4294967296.0
+
+
+def edge_key(u: Vertex, v: Vertex) -> tuple[Vertex, Vertex]:
+    """The canonical (undirected) key of an edge: endpoints ordered by ``repr``."""
+    return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible schedule of failures plus per-message loss/delay laws.
+
+    Attributes
+    ----------
+    seed:
+        Seed of the per-message hash decisions (and, for sampled plans, of
+        the schedule sampling).
+    drop_rate:
+        Probability that any individual DATA transmission is lost in flight.
+    ack_drop_rate:
+        Probability that an ACK/echo transmission is lost (defaults to
+        ``drop_rate`` in :meth:`sample`).
+    delay_jitter:
+        Extra per-message delay as a fraction of the edge weight: a message
+        on an edge of weight ``w`` arrives after ``w · (1 + jitter · U)``
+        with ``U`` the message's deterministic unit hash.
+    edge_fail_time:
+        ``{canonical edge key: failure time}`` — transmissions on the edge
+        at or after that time are lost (in-flight messages still arrive).
+    node_crash_time:
+        ``{vertex: crash time}`` — the vertex stops receiving, acking,
+        forwarding and retrying from that time on.
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    ack_drop_rate: float = 0.0
+    delay_jitter: float = 0.0
+    edge_fail_time: Mapping[tuple[Vertex, Vertex], float] = field(default_factory=dict)
+    node_crash_time: Mapping[Vertex, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    @classmethod
+    def sample(
+        cls,
+        overlay: WeightedGraph,
+        *,
+        seed: int,
+        edge_failure_rate: float = 0.0,
+        failure_band: float = 0.3,
+        node_crash_rate: float = 0.0,
+        drop_rate: float = 0.0,
+        ack_drop_rate: Optional[float] = None,
+        delay_jitter: float = 0.0,
+        horizon: float = 1.0,
+        protect: Iterable[Vertex] = (),
+    ) -> "FaultPlan":
+        """Sample a plan for ``overlay``; reproducible from the arguments alone.
+
+        ``edge_failure_rate`` is a fraction of *all* overlay edges; the failed
+        edges are drawn from the heaviest ``failure_band`` fraction of the
+        canonical weight-sorted edge order (the marginal long links — pass
+        ``failure_band=1.0`` for uniform failures).  ``node_crash_rate`` is a
+        fraction of all vertices, never drawn from ``protect`` (callers
+        protect e.g. the broadcast source).  Failure/crash times are uniform
+        in ``[0, horizon)``.
+        """
+        rng = random.Random(seed)
+        edges = overlay.edges_sorted_by_weight()
+        m = len(edges)
+        fail_count = min(int(round(edge_failure_rate * m)), m)
+        band_size = max(fail_count, min(m, int(round(max(0.0, min(1.0, failure_band)) * m))))
+        candidates = edges[m - band_size :] if band_size else []
+        edge_fail_time: dict[tuple[Vertex, Vertex], float] = {}
+        if fail_count:
+            chosen = sorted(rng.sample(range(len(candidates)), fail_count))
+            for index in chosen:
+                u, v, _ = candidates[index]
+                edge_fail_time[edge_key(u, v)] = rng.uniform(0.0, horizon)
+
+        protected = set(protect)
+        vertices = sorted(
+            (v for v in overlay.vertices() if v not in protected), key=repr
+        )
+        crash_count = min(
+            int(round(node_crash_rate * overlay.number_of_vertices)), len(vertices)
+        )
+        node_crash_time: dict[Vertex, float] = {}
+        if crash_count:
+            chosen = sorted(rng.sample(range(len(vertices)), crash_count))
+            for index in chosen:
+                node_crash_time[vertices[index]] = rng.uniform(0.0, horizon)
+
+        return cls(
+            seed=seed,
+            drop_rate=float(drop_rate),
+            ack_drop_rate=float(drop_rate if ack_drop_rate is None else ack_drop_rate),
+            delay_jitter=float(delay_jitter),
+            edge_fail_time=edge_fail_time,
+            node_crash_time=node_crash_time,
+        )
+
+    # ------------------------------------------------------------------
+    # Schedule queries
+    # ------------------------------------------------------------------
+    def edge_alive(self, u: Vertex, v: Vertex, time: float) -> bool:
+        """True if a transmission on ``(u, v)`` starting at ``time`` survives the edge."""
+        return time < self.edge_fail_time.get(edge_key(u, v), math.inf)
+
+    def node_alive(self, vertex: Vertex, time: float) -> bool:
+        """True if ``vertex`` is still up at ``time``."""
+        return time < self.node_crash_time.get(vertex, math.inf)
+
+    def failed_edges(self) -> list[tuple[Vertex, Vertex]]:
+        """The canonical keys of every edge the plan ever fails (sorted)."""
+        return sorted(self.edge_fail_time, key=repr)
+
+    def crashed_nodes(self) -> list[Vertex]:
+        """Every vertex the plan ever crashes (sorted by ``repr``)."""
+        return sorted(self.node_crash_time, key=repr)
+
+    # ------------------------------------------------------------------
+    # Per-message laws
+    # ------------------------------------------------------------------
+    def drops(self, sender: Vertex, receiver: Vertex, kind: str, attempt: int) -> bool:
+        """True if the ``attempt``-th ``kind`` message ``sender → receiver`` is lost.
+
+        Directional and independent per ``(kind, sender, receiver, attempt)``;
+        a retransmission therefore gets a fresh coin, which is what makes
+        retry-with-backoff converge.
+        """
+        rate = self.ack_drop_rate if kind in ("ack", "echo") else self.drop_rate
+        if rate <= 0.0:
+            return False
+        return _unit_hash(self.seed, "drop", kind, sender, receiver, attempt) < rate
+
+    def extra_delay(
+        self, sender: Vertex, receiver: Vertex, weight: float, kind: str, attempt: int
+    ) -> float:
+        """Deterministic extra in-flight delay of one message (0 when jitter is off)."""
+        if self.delay_jitter <= 0.0:
+            return 0.0
+        unit = _unit_hash(self.seed, "delay", kind, sender, receiver, attempt)
+        return self.delay_jitter * weight * unit
+
+    # ------------------------------------------------------------------
+    # Derived structure
+    # ------------------------------------------------------------------
+    def surviving_subgraph(self, overlay: WeightedGraph) -> WeightedGraph:
+        """The overlay restricted to never-crashed nodes and never-failed edges.
+
+        This is the conservative post-fault graph: an edge that fails at any
+        time and any edge incident on a crashing node are excluded, whatever
+        the timing.  Vertices (even crashed ones) are kept so the vertex set
+        — and therefore dense-id interning — is unchanged.
+        """
+        surviving = overlay.empty_spanning_subgraph()
+        for u, v, weight in overlay.edges():
+            if edge_key(u, v) in self.edge_fail_time:
+                continue
+            if u in self.node_crash_time or v in self.node_crash_time:
+                continue
+            surviving.add_edge(u, v, weight)
+        return surviving
+
+    def surviving_reachable(self, overlay: WeightedGraph, source: Vertex) -> set[Vertex]:
+        """Vertices reachable from ``source`` in :meth:`surviving_subgraph`.
+
+        The hardened broadcast must deliver to *at least* this set (it may
+        reach more — messages can slip through an edge before it dies or a
+        node before it crashes).
+        """
+        if source in self.node_crash_time or not overlay.has_vertex(source):
+            return set()
+        surviving = self.surviving_subgraph(overlay)
+        stack = [source]
+        reached = {source}
+        while stack:
+            vertex = stack.pop()
+            for neighbour in surviving.neighbours(vertex):
+                if neighbour not in reached:
+                    reached.add(neighbour)
+                    stack.append(neighbour)
+        return reached
+
+    # ------------------------------------------------------------------
+    # Serialization (the byte-identity the property tests compare)
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict[str, object]:
+        """A canonical JSON-serializable description of the full schedule."""
+        return {
+            "seed": self.seed,
+            "drop_rate": self.drop_rate,
+            "ack_drop_rate": self.ack_drop_rate,
+            "delay_jitter": self.delay_jitter,
+            "edge_fail_time": sorted(
+                ((repr(u), repr(v), time) for (u, v), time in self.edge_fail_time.items())
+            ),
+            "node_crash_time": sorted(
+                ((repr(v), time) for v, time in self.node_crash_time.items())
+            ),
+        }
+
+    def describe(self) -> str:
+        """One-line human summary (used by the bench tables)."""
+        return (
+            f"drop={self.drop_rate:.0%} ack_drop={self.ack_drop_rate:.0%} "
+            f"jitter={self.delay_jitter:.2f} "
+            f"edge_failures={len(self.edge_fail_time)} "
+            f"node_crashes={len(self.node_crash_time)}"
+        )

@@ -121,9 +121,40 @@ class StretchViolationError(SpannerError):
         self.stretch = stretch
 
 
+class UnrepairableSpannerError(SpannerError, TypeError):
+    """``Spanner.repair`` was asked to patch a spanner it cannot repair.
+
+    Self-healing repair replays the greedy suffix of the canonical edge
+    stream, so it is only defined for greedy-built spanners over a
+    materialized graph base; metric closures (complete graphs) have no
+    edges to fail and non-greedy constructions have no replay equivalence.
+    """
+
+
 class ExperimentError(ReproError):
     """Base class for errors raised by the experiment harness."""
 
 
 class UnknownWorkloadError(ExperimentError, KeyError):
     """A workload name was not found in the workload registry."""
+
+
+class ShardFailureError(ExperimentError):
+    """A shard of a sharded parallel run failed twice (once in a worker,
+    once on the in-process retry).
+
+    Attributes
+    ----------
+    shard_index:
+        Zero-based index of the failing shard in the shard sequence.
+    shard_count:
+        Total number of shards in the run.
+    """
+
+    def __init__(self, shard_index: int, shard_count: int, cause: object) -> None:
+        super().__init__(
+            f"shard {shard_index} of {shard_count} failed twice "
+            f"(worker + in-process retry); last error: {cause!r}"
+        )
+        self.shard_index = shard_index
+        self.shard_count = shard_count

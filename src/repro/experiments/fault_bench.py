@@ -1,0 +1,352 @@
+"""Fault-injection benchmark: the resilience trajectory behind ``repro bench-faults``.
+
+The distributed stack so far measured overlays on a *perfect* network.  This
+bench measures the hardened stack end to end under a seeded
+:class:`~repro.distributed.faults.FaultPlan`:
+
+* the hardened flood + echo (:mod:`repro.distributed.resilient`) runs once
+  per engine mode over a greedy-spanner overlay, with the plan dropping,
+  delaying and severing messages — the record keeps the retry / duplicate /
+  timeout / give-up counters and the ``delivery_complete`` guarantee (every
+  surviving-reachable vertex reached);
+* the spanner is then self-healed around the plan's failed edges
+  (:meth:`~repro.core.spanner.Spanner.repair` with ``cross_check=True``), so
+  every run re-proves repair ≡ rebuild bit for bit and records the
+  ``repair_settles`` vs ``rebuild_settles`` ratio the ≥5× gate rides on;
+* routing detours around the failed links with the pre-failure tables
+  (:func:`~repro.distributed.routing.evaluate_detour_routing`) and the
+  stretch-degradation percentiles land in the same record.
+
+Every number in the record is a pure function of the workload description —
+fault schedules are sampled from the seed, message coins are stable hashes —
+so ``scripts/check_bench_regression.py`` can diff fresh runs against the
+committed baseline in ``benchmarks/BENCH_faults.json`` exactly like the
+oracle / overlay / verify trajectories, plus two fault-specific gates: the
+``delivery_rate`` floor (never below baseline) and the minimum
+repair-vs-rebuild speedup on gated rows.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.greedy import greedy_spanner
+from repro.distributed.faults import FaultPlan
+from repro.distributed.resilient import (
+    ResilientParams,
+    delivery_report,
+    resilient_echo,
+    resilient_flood,
+)
+from repro.distributed.routing import evaluate_detour_routing, random_demands
+from repro.experiments.overlay_bench import (
+    _build_instance as _build_overlay_instance,
+    workload_key as _overlay_workload_key,
+)
+
+SCHEMA_VERSION = 1
+
+DEFAULT_MODES = ("indexed", "reference")
+
+#: The deterministic operation counts the regression checker compares
+#: (protocol counters are ``fault_``-prefixed so they can never collide with
+#: another trajectory's keys inside the shared checker).
+OPERATION_COUNT_KEYS = (
+    "fault_messages",
+    "fault_data_sends",
+    "fault_retries",
+    "fault_acks",
+    "fault_duplicates",
+    "fault_timers",
+    "fault_give_ups",
+    "fault_lost",
+    "fault_events",
+    "fault_echo_messages",
+    "fault_echo_retries",
+    "fault_echo_give_ups",
+    "repair_settles",
+    "repair_queries",
+    "rebuild_settles",
+    "replayed_edges",
+    "detours",
+    "undelivered",
+)
+
+#: Workload keys that describe the fault regime rather than the base instance.
+_FAULT_KEYS = (
+    "fault_seed",
+    "edge_failure_rate",
+    "failure_band",
+    "node_crash_rate",
+    "drop_rate",
+    "ack_drop_rate",
+    "delay_jitter",
+    "repair_oracle",
+    "gate_repair_speedup",
+)
+
+
+def fault_workload(
+    base: dict[str, object],
+    *,
+    fault_seed: int = 11,
+    edge_failure_rate: float = 0.02,
+    failure_band: float = 0.3,
+    node_crash_rate: float = 0.0,
+    drop_rate: float = 0.05,
+    ack_drop_rate: Optional[float] = None,
+    delay_jitter: float = 0.25,
+    repair_oracle: str = "cached",
+    gate_repair_speedup: bool = False,
+) -> dict[str, object]:
+    """Attach a fault regime to a bench workload description.
+
+    ``gate_repair_speedup`` marks rows whose committed repair-vs-rebuild
+    speedup the regression checker holds to ``--min-repair-speedup`` (the
+    ISSUE's ≥5× acceptance row sets it).
+    """
+    workload = dict(base)
+    workload["fault_seed"] = int(fault_seed)
+    workload["edge_failure_rate"] = float(edge_failure_rate)
+    workload["failure_band"] = float(failure_band)
+    workload["node_crash_rate"] = float(node_crash_rate)
+    workload["drop_rate"] = float(drop_rate)
+    if ack_drop_rate is not None:
+        workload["ack_drop_rate"] = float(ack_drop_rate)
+    workload["delay_jitter"] = float(delay_jitter)
+    workload["repair_oracle"] = str(repair_oracle)
+    if gate_repair_speedup:
+        workload["gate_repair_speedup"] = True
+    return workload
+
+
+def _without_faults(workload: dict[str, object]) -> dict[str, object]:
+    return {key: value for key, value in workload.items() if key not in _FAULT_KEYS}
+
+
+def workload_key(workload: dict[str, object]) -> str:
+    """Stable run key: the overlay workload key plus the fault-regime suffix."""
+    suffix = "f{}-ef{}-fb{}-nc{}-dr{}-dj{}-o{}".format(
+        int(workload["fault_seed"]),
+        float(workload["edge_failure_rate"]),
+        float(workload["failure_band"]),
+        float(workload["node_crash_rate"]),
+        float(workload["drop_rate"]),
+        float(workload["delay_jitter"]),
+        workload["repair_oracle"],
+    )
+    return f"{_overlay_workload_key(_without_faults(workload))}-{suffix}"
+
+
+def _build_presets() -> dict[str, tuple[dict[str, object], tuple[str, ...]]]:
+    """The named rows of the fault matrix.
+
+    The CI row is small and runs both engines (the tie-for-tie replay
+    evidence); the scale row is the ISSUE's acceptance instance — ``n = 10⁴``
+    geometric, ≥5% drop, 2% edge failures in the heaviest band — and runs
+    the indexed engine only, with the ``bidirectional`` repair oracle (no
+    cross-run caching on either side, so repair and rebuild pay the same
+    per-query price and the ≥5× gate measures the skipped prefix, not a
+    cache artifact).
+    """
+    from repro.experiments.overlay_bench import geometric_workload
+
+    rows: tuple[tuple[dict[str, object], tuple[str, ...]], ...] = (
+        (
+            fault_workload(
+                geometric_workload(n=300, radius=0.12, seed=7, stretch=1.5),
+                fault_seed=11,
+                edge_failure_rate=0.02,
+                failure_band=0.3,
+                node_crash_rate=0.02,
+                drop_rate=0.05,
+                delay_jitter=0.25,
+                repair_oracle="cached",
+            ),
+            DEFAULT_MODES,
+        ),
+        (
+            fault_workload(
+                geometric_workload(n=10000, radius=0.025, seed=7, stretch=1.2),
+                fault_seed=11,
+                edge_failure_rate=0.02,
+                failure_band=0.02,
+                node_crash_rate=0.0,
+                drop_rate=0.05,
+                delay_jitter=0.25,
+                repair_oracle="bidirectional",
+                gate_repair_speedup=True,
+            ),
+            ("indexed",),
+        ),
+    )
+    return {workload_key(workload): (workload, modes) for workload, modes in rows}
+
+
+#: workload key -> (workload, default engine modes).
+FAULT_PRESETS = _build_presets()
+
+
+def _prefixed(row: dict[str, float], prefix: str) -> dict[str, float]:
+    return {f"{prefix}{key}": value for key, value in row.items()}
+
+
+def run_fault_bench(
+    workload: dict[str, object],
+    modes: Sequence[str] = DEFAULT_MODES,
+    *,
+    demand_count: int = 32,
+    params: Optional[ResilientParams] = None,
+) -> dict[str, object]:
+    """Run the hardened flood/echo, self-healing repair and detour routing once.
+
+    The record mirrors the other bench shapes (``"strategies"`` keyed by
+    engine mode, plus a ``"repair"`` pseudo-strategy holding the replay
+    counters) so :func:`scripts.check_bench_regression.find_regressions`
+    gates all four trajectories with the same code.  The spanner overlay is
+    built once and shared; ``cross_check=True`` means every bench run
+    re-proves repair ≡ rebuild instead of trusting it.
+    """
+    graph, metric = _build_overlay_instance(_without_faults(workload))
+    if metric is not None:
+        raise ValueError(
+            "fault bench needs a materialized overlay graph; metric workloads "
+            "have no physical edges to fail"
+        )
+    stretch = float(workload["stretch"])
+    repair_oracle = str(workload.get("repair_oracle", "cached"))
+
+    build_start = time.perf_counter()
+    spanner = greedy_spanner(graph, stretch, oracle=repair_oracle)
+    build_seconds = time.perf_counter() - build_start
+    overlay = spanner.subgraph
+
+    source = min(overlay.vertices(), key=repr)
+    plan = FaultPlan.sample(
+        overlay,
+        seed=int(workload["fault_seed"]),
+        edge_failure_rate=float(workload["edge_failure_rate"]),
+        failure_band=float(workload["failure_band"]),
+        node_crash_rate=float(workload["node_crash_rate"]),
+        drop_rate=float(workload["drop_rate"]),
+        ack_drop_rate=(
+            float(workload["ack_drop_rate"]) if "ack_drop_rate" in workload else None
+        ),
+        delay_jitter=float(workload["delay_jitter"]),
+        protect=(source,),
+    )
+
+    records: dict[str, dict[str, float]] = {}
+    replays: dict[str, tuple] = {}
+    reports: dict[str, dict[str, float]] = {}
+    for mode in modes:
+        start = time.perf_counter()
+        flood = resilient_flood(overlay, source, plan, params=params, mode=mode)
+        flood_seconds = time.perf_counter() - start
+        echo = resilient_echo(overlay, source, flood, plan, params=params)
+        report = delivery_report(overlay, source, plan, flood)
+
+        record: dict[str, float] = {"flood_seconds": flood_seconds}
+        record.update(_prefixed(flood.as_row(), "fault_"))
+        record.update(_prefixed(echo.as_row(), "fault_"))
+        record.update(report)
+        records[mode] = record
+        reports[mode] = report
+        replays[mode] = (
+            tuple(sorted(flood.statistics.as_row().items())),
+            tuple(sorted((repr(v), t) for v, t in flood.delivery_time.items())),
+            tuple(sorted((repr(v), repr(p)) for v, p in flood.parent.items())),
+            tuple(sorted(echo.as_row().items())),
+        )
+
+    failed = plan.failed_edges()
+    start = time.perf_counter()
+    repair = spanner.repair(failed, oracle=repair_oracle, cross_check=True)
+    repair_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    demands = random_demands(overlay, demand_count, seed=int(workload["fault_seed"]))
+    detour = evaluate_detour_routing(overlay, demands, set(failed), mode="indexed")
+    detour_seconds = time.perf_counter() - start
+
+    repair_record: dict[str, float] = {
+        "repair_seconds": repair_seconds,
+        "detour_seconds": detour_seconds,
+    }
+    repair_record.update(repair.counters())
+    repair_record.update(detour.as_row())
+    records["repair"] = repair_record
+
+    delivery = next(iter(reports.values()))
+    result: dict[str, object] = {
+        "workload": dict(workload),
+        "strategies": records,
+        "n": graph.number_of_vertices,
+        "build_seconds": build_seconds,
+        "spanner_edges": float(spanner.number_of_edges),
+        "fault_plan": plan.describe(),
+        "delivery_rate": delivery["delivery_rate"],
+        "delivery_complete": bool(delivery["delivery_complete"]),
+        "repair_matches_rebuild": bool(repair.matches_rebuild),
+        "post_repair_verified": bool(repair.verified),
+    }
+    if repair.rebuild_settles is not None and repair.repair_settles > 0:
+        result["repair_speedup"] = repair.rebuild_settles / repair.repair_settles
+    if workload.get("gate_repair_speedup"):
+        result["gate_repair_speedup"] = True
+    if len(reports) > 1:
+        reference_replay = next(iter(replays.values()))
+        result["fault_replay_match"] = all(
+            replay == reference_replay for replay in replays.values()
+        )
+    return result
+
+
+def run_flags(run: dict[str, object]) -> dict[str, bool]:
+    """The pass/fail flags of one run (the gate and the CLI both read these)."""
+    flags = {
+        "delivery_complete": bool(run.get("delivery_complete", False)),
+        "repair_matches_rebuild": bool(run.get("repair_matches_rebuild", False)),
+        "post_repair_verified": bool(run.get("post_repair_verified", False)),
+    }
+    if "fault_replay_match" in run:
+        flags["fault_replay_match"] = bool(run["fault_replay_match"])
+    return flags
+
+
+def merge_run_into_file(path: str | Path, run: dict[str, object]) -> dict[str, object]:
+    """Merge ``run`` into the fault trajectory at ``path`` (created if missing).
+
+    One entry per workload key under ``"runs"``, latest run wins — the same
+    contract as the other three trajectory files.
+    """
+    path = Path(path)
+    if path.exists():
+        document = json.loads(path.read_text())
+    else:
+        document = {
+            "schema": SCHEMA_VERSION,
+            "description": (
+                "Fault-injection benchmark trajectory (hardened flood/echo "
+                "under a seeded FaultPlan, self-healing repair vs rebuild, "
+                "detour routing); see docs/RESILIENCE.md. Regenerate with "
+                "`repro bench-faults`."
+            ),
+            "runs": {},
+        }
+    document.setdefault("runs", {})[workload_key(run["workload"])] = run
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document
+
+
+def render_rows(run: dict[str, object]) -> list[dict[str, object]]:
+    """Flatten a run record into report-table rows (one per strategy)."""
+    rows = []
+    for name, record in run["strategies"].items():
+        row: dict[str, object] = {"mode": name}
+        row.update(record)
+        rows.append(row)
+    return rows

@@ -19,6 +19,7 @@ one worker and for N, which is what the determinism property tests pin down.
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
 import os
 import time
@@ -240,6 +241,19 @@ def deterministic_shards(items: Sequence[T], shard_count: int) -> list[list[T]]:
     return shards
 
 
+def _run_shard_guarded(task: Callable[[T], R], shard: T) -> tuple[str, object]:
+    """Run one shard, capturing any exception as a value.
+
+    Module-level (and wrapped via :func:`functools.partial`, which pickles by
+    reference) so the fork pool can ship it; a worker that raises returns
+    ``("error", repr(exc))`` instead of poisoning the whole ``Pool.map``.
+    """
+    try:
+        return ("ok", task(shard))
+    except Exception as exc:  # noqa: BLE001 - the parent re-raises after retry
+        return ("error", repr(exc))
+
+
 def run_sharded(
     task: Callable[[T], R],
     shards: Sequence[T],
@@ -254,17 +268,55 @@ def run_sharded(
     function; with one worker (or when ``fork`` is unavailable, or from
     inside a daemonic worker) the shards run inline in the calling process —
     bit-identical results either way.
+
+    Worker failures do not take the whole run down: a shard that raises in
+    its worker (or whose worker dies outright) is retried once in-process;
+    if the retry fails too, :class:`~repro.errors.ShardFailureError` names
+    the shard.  Inline runs get the same retry-once semantics, so the
+    failure contract is worker-count independent.
     """
+    from repro.errors import ShardFailureError
+
+    def run_inline(index: int, shard: T) -> R:
+        try:
+            return task(shard)
+        except Exception as first:  # noqa: BLE001 - retried once, then named
+            try:
+                return task(shard)
+            except Exception as second:  # noqa: BLE001
+                raise ShardFailureError(index, len(shards), second) from first
+
     shards = list(shards)
     worker_count = min(resolve_worker_count(workers), len(shards))
-    if worker_count <= 1 or not fork_available():
-        return [task(shard) for shard in shards]
-    current = multiprocessing.current_process()
-    if getattr(current, "daemon", False):  # nested pools are not allowed
-        return [task(shard) for shard in shards]
+    inline_only = (
+        worker_count <= 1
+        or not fork_available()
+        # Nested pools are not allowed inside daemonic workers.
+        or getattr(multiprocessing.current_process(), "daemon", False)
+    )
+    if inline_only:
+        return [run_inline(index, shard) for index, shard in enumerate(shards)]
+    guarded = functools.partial(_run_shard_guarded, task)
     context = multiprocessing.get_context("fork")
-    with context.Pool(processes=worker_count) as pool:
-        return pool.map(task, shards)
+    try:
+        with context.Pool(processes=worker_count) as pool:
+            outcomes = pool.map(guarded, shards)
+    except Exception:  # noqa: BLE001 - pool-level crash (e.g. a worker died)
+        # The pool machinery itself failed; fall back to a full inline pass
+        # (each shard still gets the retry-once contract).
+        return [run_inline(index, shard) for index, shard in enumerate(shards)]
+    results: list[R] = []
+    for index, (status, value) in enumerate(outcomes):
+        if status == "ok":
+            results.append(value)  # type: ignore[arg-type]
+        else:
+            # Worker-side failure: one in-process retry, then give the shard
+            # a name in the error instead of an opaque pool traceback.
+            try:
+                results.append(task(shards[index]))
+            except Exception as exc:  # noqa: BLE001
+                raise ShardFailureError(index, len(shards), exc) from None
+    return results
 
 
 def merge_counters(parts: Iterable[Mapping[str, float]]) -> dict[str, float]:

@@ -31,6 +31,22 @@ def _square(shard: list[int]) -> list[int]:
     return [value * value for value in shard]
 
 
+def _boom_on_one(shard: list[int]) -> int:
+    if 1 in shard:
+        raise ValueError("boom")
+    return sum(shard)
+
+
+def _fail_in_worker_only(shard: list[int]) -> int:
+    # Pool workers are daemonic; the parent's in-process retry is not — so
+    # this models a transient worker-side failure the retry must absorb.
+    import multiprocessing
+
+    if multiprocessing.current_process().daemon:
+        raise RuntimeError("worker-only failure")
+    return sum(shard)
+
+
 class TestShardedExecutor:
     def test_shards_are_contiguous_and_cover(self):
         items = list(range(23))
@@ -61,6 +77,34 @@ class TestShardedExecutor:
     def test_merge_counters(self):
         merged = merge_counters([{"a": 1, "b": 2}, {"a": 3}, {"c": 5}])
         assert merged == {"a": 4, "b": 2, "c": 5}
+
+    def test_persistent_failure_names_shard_inline(self):
+        from repro.errors import ShardFailureError
+
+        shards = [[0], [1], [2], [3]]
+        with pytest.raises(ShardFailureError) as excinfo:
+            run_sharded(_boom_on_one, shards, workers=1)
+        assert excinfo.value.shard_index == 1
+        assert excinfo.value.shard_count == 4
+        assert "boom" in str(excinfo.value)
+
+    def test_persistent_failure_names_shard_parallel(self):
+        from repro.errors import ShardFailureError
+
+        if not fork_available():
+            pytest.skip("fork start method unavailable")
+        shards = [[0], [1], [2], [3]]
+        with pytest.raises(ShardFailureError) as excinfo:
+            run_sharded(_boom_on_one, shards, workers=4)
+        assert excinfo.value.shard_index == 1
+        assert excinfo.value.shard_count == 4
+
+    def test_transient_worker_failure_recovered_by_retry(self):
+        if not fork_available():
+            pytest.skip("fork start method unavailable")
+        # Every shard fails inside its worker; the parent's in-process retry
+        # succeeds, so the run completes with results in shard order.
+        assert run_sharded(_fail_in_worker_only, [[1, 2], [3, 4]], workers=2) == [3, 7]
 
 
 class TestVerifyBench:
