@@ -34,6 +34,16 @@ at least ``--min-repair-speedup`` (default 5×, the ISSUE's acceptance bar;
 checked in *both* documents, so the committed scale-row evidence is
 re-validated even when CI regenerates only the small rows).
 
+The construction benchmark (``repro bench-build``) emits ``build_*``
+filter/replay counters per strategy plus the ``builds_match`` cross-check
+flag (every strategy — per-edge list path, cached serial, CSR band-parallel
+with 1 and N workers — must produce the byte-identical greedy edge set);
+pass ``--fresh-build`` / ``--baseline-build`` to gate it.  Runs marked
+``gate_build_speedup`` (the committed ``n = 10⁵`` scale row) must record a
+``build_speedup`` — per-edge baseline wall-clock over the CSR
+band-parallel path — of at least ``--min-build-speedup`` (default 3×),
+checked in both documents like the repair gate.
+
 Usage (standalone)::
 
     python scripts/check_bench_regression.py \
@@ -45,6 +55,8 @@ Usage (standalone)::
         --baseline-verify benchmarks/BENCH_verify.json \
         --fresh-faults BENCH_faults.json \
         --baseline-faults benchmarks/BENCH_faults.json \
+        --fresh-build BENCH_build.json \
+        --baseline-build benchmarks/BENCH_build.json \
         --threshold 0.25
 
 Exit code 1 if any strategy's operation count regressed by more than the
@@ -106,6 +118,11 @@ OPERATION_COUNT_KEYS = (
     "replayed_edges",
     "detours",
     "undelivered",
+    # Construction trajectory (repro.experiments.build_bench): the CSR
+    # band-parallel builder's deterministic filter/replay counters.
+    "build_filter_settles",
+    "build_replay_settles",
+    "build_candidate_edges",
 )
 
 #: Boolean cross-check flags a fresh run must not record as false
@@ -118,11 +135,17 @@ CROSS_CHECK_FLAGS = (
     "repair_matches_rebuild",
     "post_repair_verified",
     "fault_replay_match",
+    "builds_match",
 )
 
 #: Default minimum repair-vs-rebuild settle speedup on runs marked
 #: ``gate_repair_speedup`` (the fault trajectory's scale-row acceptance bar).
 DEFAULT_MIN_REPAIR_SPEEDUP = 5.0
+
+#: Default minimum per-edge-baseline vs CSR band-parallel wall-clock speedup
+#: on runs marked ``gate_build_speedup`` (the construction trajectory's
+#: scale-row acceptance bar).
+DEFAULT_MIN_BUILD_SPEEDUP = 3.0
 
 
 def load_document(path: str | Path) -> dict:
@@ -136,6 +159,7 @@ def find_regressions(
     *,
     threshold: float = DEFAULT_THRESHOLD,
     min_repair_speedup: float = DEFAULT_MIN_REPAIR_SPEEDUP,
+    min_build_speedup: float = DEFAULT_MIN_BUILD_SPEEDUP,
 ) -> list[str]:
     """Return human-readable regression descriptions (empty list = all good).
 
@@ -151,21 +175,30 @@ def find_regressions(
     problems: list[str] = []
     baseline_runs = baseline.get("runs", {})
     fresh_runs = fresh.get("runs", {})
-    # The speedup gate scans both documents — a gated row whose committed
+    # The speedup gates scan both documents — a gated row whose committed
     # evidence falls below the bar is a problem even if CI didn't rerun it.
     seen_gated: set[str] = set()
+    seen_build_gated: set[str] = set()
     for label, runs in (("fresh", fresh_runs), ("baseline", baseline_runs)):
         for key, run in sorted(runs.items()):
-            if not run.get("gate_repair_speedup") or key in seen_gated:
-                continue
-            seen_gated.add(key)
-            speedup = float(run.get("repair_speedup", 0.0))
-            if speedup < min_repair_speedup:
-                problems.append(
-                    f"{key}: {label} repair speedup {speedup:.2f}x is below the "
-                    f"required {min_repair_speedup:.2f}x (rebuild_settles / "
-                    "repair_settles on a gated row)"
-                )
+            if run.get("gate_repair_speedup") and key not in seen_gated:
+                seen_gated.add(key)
+                speedup = float(run.get("repair_speedup", 0.0))
+                if speedup < min_repair_speedup:
+                    problems.append(
+                        f"{key}: {label} repair speedup {speedup:.2f}x is below the "
+                        f"required {min_repair_speedup:.2f}x (rebuild_settles / "
+                        "repair_settles on a gated row)"
+                    )
+            if run.get("gate_build_speedup") and key not in seen_build_gated:
+                seen_build_gated.add(key)
+                speedup = float(run.get("build_speedup", 0.0))
+                if speedup < min_build_speedup:
+                    problems.append(
+                        f"{key}: {label} build speedup {speedup:.2f}x is below the "
+                        f"required {min_build_speedup:.2f}x (per-edge baseline / "
+                        "CSR band-parallel wall-clock on a gated row)"
+                    )
     shared = sorted(set(baseline_runs) & set(fresh_runs))
     if not shared:
         problems.append("no shared workload keys between baseline and fresh runs")
@@ -259,6 +292,16 @@ def main(argv: list[str] | None = None) -> int:
         help="committed fault baseline trajectory",
     )
     parser.add_argument(
+        "--fresh-build",
+        default=None,
+        help="freshly emitted construction trajectory (BENCH_build.json); optional",
+    )
+    parser.add_argument(
+        "--baseline-build",
+        default="benchmarks/BENCH_build.json",
+        help="committed construction baseline trajectory",
+    )
+    parser.add_argument(
         "--threshold",
         type=float,
         default=DEFAULT_THRESHOLD,
@@ -273,6 +316,15 @@ def main(argv: list[str] | None = None) -> int:
             "marked gate_repair_speedup (checked in baseline and fresh)"
         ),
     )
+    parser.add_argument(
+        "--min-build-speedup",
+        type=float,
+        default=DEFAULT_MIN_BUILD_SPEEDUP,
+        help=(
+            "minimum per-edge-baseline/CSR-parallel wall-clock ratio required "
+            "of build runs marked gate_build_speedup (checked in baseline and fresh)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     pairs = [("oracles", args.baseline, args.fresh)]
@@ -282,6 +334,8 @@ def main(argv: list[str] | None = None) -> int:
         pairs.append(("verify", args.baseline_verify, args.fresh_verify))
     if args.fresh_faults is not None:
         pairs.append(("faults", args.baseline_faults, args.fresh_faults))
+    if args.fresh_build is not None:
+        pairs.append(("build", args.baseline_build, args.fresh_build))
 
     problems: list[str] = []
     for label, baseline_path, fresh_path in pairs:
@@ -296,6 +350,7 @@ def main(argv: list[str] | None = None) -> int:
                 load_document(fresh_path),
                 threshold=args.threshold,
                 min_repair_speedup=args.min_repair_speedup,
+                min_build_speedup=args.min_build_speedup,
             )
         )
     if problems:

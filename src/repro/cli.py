@@ -5,7 +5,7 @@ Entry points (also usable as ``python -m repro.cli <command>``):
 * ``list-workloads`` — print the workload registry.
 * ``list-builders`` — print the spanner-builder registry.
 * ``figure1`` — reproduce the paper's Figure 1 example.
-* ``experiment <id>`` — run one experiment from DESIGN.md's index (E1–E13)
+* ``experiment <id>`` — run one experiment from DESIGN.md's index (E1–E14)
   and print its table.  ``--quick`` shrinks the workloads.
 * ``compare`` — run the Euclidean construction comparison on a chosen
   workload size and stretch.
@@ -38,6 +38,18 @@ Entry points (also usable as ``python -m repro.cli <command>``):
   forwarding, and merge the delivery/retry/repair counters into a
   ``BENCH_faults.json`` trajectory gated by the same regression script
   (see docs/RESILIENCE.md).
+* ``bench-build`` — build the same greedy spanner once per construction
+  strategy (the per-edge bounded-ball list path, the cached serial path,
+  and the CSR band-parallel path with 1 and with ``--workers`` worker
+  processes), check the edge sets byte-identical (``builds_match``) and
+  merge the wall-clock plus deterministic ``build_*`` counters into a
+  ``BENCH_build.json`` trajectory whose ``gate_build_speedup`` rows the
+  regression script holds to ``--min-build-speedup``.
+
+The ``bench-*`` subcommands share one option group
+(:func:`_add_bench_matrix_options`): ``--workloads`` preset selection,
+``--output`` trajectory path, and — where the matrix can shard or trace —
+``--workers`` / ``--no-memory``.
 
 The CLI exists so the repository can be exercised without writing Python —
 e.g. ``python -m repro.cli experiment E3``.
@@ -70,6 +82,7 @@ _EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "E11": exp.experiment_overlay_matrix,
     "E12": exp.experiment_verify_matrix,
     "E13": exp.experiment_fault_matrix,
+    "E14": exp.experiment_build_matrix,
 }
 
 _QUICK_ARGUMENTS: dict[str, dict[str, object]] = {
@@ -86,6 +99,7 @@ _QUICK_ARGUMENTS: dict[str, dict[str, object]] = {
     "E11": {"n": 60},
     "E12": {"n": 60},
     "E13": {"n": 60},
+    "E14": {"n": 60, "workers": 2},
 }
 
 
@@ -520,6 +534,132 @@ def _command_bench_faults(args: argparse.Namespace) -> int:
     return 0 if all_ok else 1
 
 
+def _command_bench_build(args: argparse.Namespace) -> int:
+    from repro.experiments.build_bench import (
+        BUILD_PRESETS,
+        DEFAULT_STRATEGIES,
+        bucketed_workload,
+        euclidean_build_workload,
+        merge_run_into_file,
+        render_rows,
+        run_build_bench,
+        workload_key,
+    )
+
+    strategies: Optional[tuple[str, ...]] = None
+    if args.strategies is not None:
+        strategies = tuple(name.strip() for name in args.strategies.split(",") if name.strip())
+        unknown = [name for name in strategies if name not in DEFAULT_STRATEGIES]
+        if not strategies or unknown:
+            print(
+                f"unknown build strategies: {', '.join(unknown) or '(none given)'}; "
+                f"valid names: {', '.join(DEFAULT_STRATEGIES)}"
+            )
+            return 2
+
+    # Assemble (workload, strategies, gated) rows: named preset rows
+    # (--workloads) or one ad-hoc workload from the flags — the same shape
+    # as the other bench commands.
+    rows: list[tuple[dict[str, object], tuple[str, ...], bool]] = []
+    if args.workloads:
+        requested = [key.strip() for key in args.workloads.split(",") if key.strip()]
+        if requested == ["all"]:
+            requested = list(BUILD_PRESETS)
+        unknown_keys = [key for key in requested if key not in BUILD_PRESETS]
+        if not requested or unknown_keys:
+            print(
+                f"unknown build workloads: {', '.join(unknown_keys) or '(none given)'}; "
+                "valid keys (or 'all'):"
+            )
+            for key in BUILD_PRESETS:
+                print(f"  {key}")
+            return 2
+        for key in requested:
+            workload, default_strategies, gated = BUILD_PRESETS[key]
+            rows.append((workload, strategies or default_strategies, gated))
+    else:
+        if args.kind == "euclidean":
+            workload = euclidean_build_workload(
+                n=args.n, dim=args.dim, seed=args.seed, stretch=args.stretch
+            )
+        else:
+            workload = bucketed_workload(
+                n=args.n, degree=args.degree, seed=args.seed, stretch=args.stretch
+            )
+        rows.append((workload, strategies or DEFAULT_STRATEGIES, False))
+
+    all_match = True
+    for workload, row_strategies, gated in rows:
+        run = run_build_bench(
+            workload,
+            strategies=row_strategies,
+            workers=args.workers,
+            gate_build_speedup=gated,
+        )
+        merge_run_into_file(args.output, run)
+        print(render_table(render_rows(run), title=f"build matrix: {workload_key(workload)}"))
+        for label, field in (
+            ("speedup vs per-edge list path", "build_speedup"),
+            ("speedup vs cached serial path", "cached_speedup"),
+            ("1-worker vs fan-out wall clock", "workers_speedup"),
+        ):
+            if field in run:
+                print(f"{label}: {run[field]:.2f}x")
+        print(f"cpu_count: {int(run['cpu_count'])}  fan_workers: {int(run['fan_workers'])}")
+        if "builds_match" in run:
+            print(f"builds_match: {run['builds_match']}")
+            all_match = all_match and bool(run["builds_match"])
+    print(f"trajectory written to {args.output}")
+    return 0 if all_match else 1
+
+
+def _add_bench_matrix_options(
+    parser: argparse.ArgumentParser,
+    *,
+    bench: str,
+    output: str,
+    workers: bool = False,
+    memory: bool = False,
+) -> None:
+    """The option group every ``bench-*`` subcommand shares.
+
+    Keeping the flag names, defaults and help text in one place stops the
+    subcommands drifting apart (``--workers`` used to exist on bench-verify
+    only, with hand-copied ``--workloads`` / ``--output`` help everywhere).
+    ``workers`` / ``memory`` are opt-in so commands without a sharded or
+    memory-traced path don't grow dead flags.
+    """
+    parser.add_argument(
+        "--workloads",
+        default=None,
+        help=(
+            f"comma-separated {bench} preset keys (or 'all') to (re)run "
+            "named matrix rows instead of an ad-hoc workload; see the keys "
+            f"in benchmarks/{output}"
+        ),
+    )
+    parser.add_argument(
+        "--output", default=output, help="JSON trajectory file to merge into"
+    )
+    if workers:
+        parser.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help=(
+                "worker processes for the sharded/parallel path (default 1 = "
+                "inline; -1 = all CPUs; deterministic counters are identical "
+                "for any worker count)"
+            ),
+        )
+    if memory:
+        parser.add_argument(
+            "--no-memory",
+            action="store_true",
+            help="skip tracemalloc peak-memory tracking (tracing ~doubles wall clock)",
+        )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed separately for testing)."""
     parser = argparse.ArgumentParser(
@@ -542,7 +682,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure1_parser.add_argument("--stretch", type=float, default=3.0)
     figure1_parser.set_defaults(handler=_command_figure1)
 
-    experiment_parser = subparsers.add_parser("experiment", help="run one experiment (E1-E13)")
+    experiment_parser = subparsers.add_parser("experiment", help="run one experiment (E1-E14)")
     experiment_parser.add_argument("id", help="experiment id, e.g. E3")
     experiment_parser.add_argument("--quick", action="store_true", help="use reduced workloads")
     experiment_parser.set_defaults(handler=_command_experiment)
@@ -600,15 +740,6 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--seed", type=int, default=7)
     bench_parser.add_argument("--stretch", type=float, default=2.0)
     bench_parser.add_argument(
-        "--workloads",
-        default=None,
-        help=(
-            "comma-separated bench preset keys (or 'all') to (re)run named "
-            "matrix rows instead of an ad-hoc workload; see the keys in "
-            "benchmarks/BENCH_oracles.json"
-        ),
-    )
-    bench_parser.add_argument(
         "--strategies",
         default=None,
         help=(
@@ -618,13 +749,8 @@ def build_parser() -> argparse.ArgumentParser:
             "row's recorded strategies with --workloads"
         ),
     )
-    bench_parser.add_argument(
-        "--output", default="BENCH_oracles.json", help="JSON trajectory file to merge into"
-    )
-    bench_parser.add_argument(
-        "--no-memory",
-        action="store_true",
-        help="skip tracemalloc peak-memory tracking (tracing ~doubles wall clock)",
+    _add_bench_matrix_options(
+        bench_parser, bench="oracle", output="BENCH_oracles.json", memory=True
     )
     bench_parser.set_defaults(handler=_command_bench_oracles)
 
@@ -670,15 +796,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--pulses", type=int, default=10, help="synchronizer pulses to account"
     )
     overlay_parser.add_argument(
-        "--workloads",
-        default=None,
-        help=(
-            "comma-separated overlay preset keys (or 'all') to (re)run named "
-            "matrix rows instead of an ad-hoc workload; see the keys in "
-            "benchmarks/BENCH_overlays.json"
-        ),
-    )
-    overlay_parser.add_argument(
         "--builders",
         default=None,
         help=(
@@ -687,8 +804,8 @@ def build_parser() -> argparse.ArgumentParser:
             "each preset row's recorded builders"
         ),
     )
-    overlay_parser.add_argument(
-        "--output", default="BENCH_overlays.json", help="JSON trajectory file to merge into"
+    _add_bench_matrix_options(
+        overlay_parser, bench="overlay", output="BENCH_overlays.json"
     )
     overlay_parser.set_defaults(handler=_command_bench_overlays)
 
@@ -743,16 +860,6 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     verify_parser.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help=(
-            "worker processes for the indexed mode's sharded source fan-out "
-            "(default 1 = inline; -1 = all CPUs; merged counters are "
-            "identical for any worker count)"
-        ),
-    )
-    verify_parser.add_argument(
         "--profile-sources",
         type=int,
         default=None,
@@ -762,17 +869,8 @@ def build_parser() -> argparse.ArgumentParser:
             "shard with --workloads)"
         ),
     )
-    verify_parser.add_argument(
-        "--workloads",
-        default=None,
-        help=(
-            "comma-separated verify preset keys (or 'all') to (re)run named "
-            "matrix rows instead of an ad-hoc workload; see the keys in "
-            "benchmarks/BENCH_verify.json"
-        ),
-    )
-    verify_parser.add_argument(
-        "--output", default="BENCH_verify.json", help="JSON trajectory file to merge into"
+    _add_bench_matrix_options(
+        verify_parser, bench="verify", output="BENCH_verify.json", workers=True
     )
     verify_parser.set_defaults(handler=_command_bench_verify)
 
@@ -840,19 +938,55 @@ def build_parser() -> argparse.ArgumentParser:
             "recorded modes with --workloads"
         ),
     )
-    faults_parser.add_argument(
-        "--workloads",
-        default=None,
-        help=(
-            "comma-separated fault preset keys (or 'all') to (re)run named "
-            "matrix rows instead of an ad-hoc workload; see the keys in "
-            "benchmarks/BENCH_faults.json"
-        ),
-    )
-    faults_parser.add_argument(
-        "--output", default="BENCH_faults.json", help="JSON trajectory file to merge into"
+    _add_bench_matrix_options(
+        faults_parser, bench="fault", output="BENCH_faults.json"
     )
     faults_parser.set_defaults(handler=_command_bench_faults)
+
+    build_bench_parser = subparsers.add_parser(
+        "bench-build",
+        help=(
+            "benchmark greedy construction strategies (per-edge list path, "
+            "cached serial, CSR band-parallel) and emit BENCH_build.json"
+        ),
+    )
+    build_bench_parser.add_argument(
+        "--kind",
+        choices=["bucketed", "euclidean"],
+        default="bucketed",
+        help=(
+            "ad-hoc workload family: bucketed geometric graph (O(n + m) "
+            "spatial-hash generator) or uniform Euclidean points (streamed "
+            "complete graph)"
+        ),
+    )
+    build_bench_parser.add_argument(
+        "--n", type=int, default=20000, help="number of points / vertices"
+    )
+    build_bench_parser.add_argument(
+        "--degree",
+        type=float,
+        default=96.0,
+        help="target average degree of the bucketed geometric graph",
+    )
+    build_bench_parser.add_argument(
+        "--dim", type=int, default=2, help="dimension (euclidean only)"
+    )
+    build_bench_parser.add_argument("--seed", type=int, default=3)
+    build_bench_parser.add_argument("--stretch", type=float, default=2.0)
+    build_bench_parser.add_argument(
+        "--strategies",
+        default=None,
+        help=(
+            "comma-separated build strategies to run (greedy-edge-list, "
+            "greedy-serial, csr-parallel-w1, csr-parallel-wn); defaults to "
+            "all four"
+        ),
+    )
+    _add_bench_matrix_options(
+        build_bench_parser, bench="build", output="BENCH_build.json", workers=True
+    )
+    build_bench_parser.set_defaults(handler=_command_bench_build)
 
     return parser
 

@@ -12,6 +12,11 @@ from repro.core.approximate_greedy import (
     approximate_greedy_spanner,
     derive_parameters,
 )
+from repro.core.parallel_greedy import (
+    DEFAULT_BANDS,
+    parallel_greedy_spanner,
+    parallel_greedy_spanner_of_metric,
+)
 from repro.core.cluster_graph import ClusterGraph
 from repro.core.distance_oracle import (
     BidirectionalDijkstraOracle,
@@ -56,6 +61,9 @@ __all__ = [
     "ApproximateGreedyParameters",
     "approximate_greedy_spanner",
     "derive_parameters",
+    "DEFAULT_BANDS",
+    "parallel_greedy_spanner",
+    "parallel_greedy_spanner_of_metric",
     "ClusterGraph",
     "BidirectionalDijkstraOracle",
     "BoundedDijkstraOracle",

@@ -1,0 +1,413 @@
+"""Deterministic parallel greedy-spanner construction (band filter + replay).
+
+The serial greedy algorithm is inherently sequential: the verdict on edge
+``e_i`` depends on the spanner ``H`` accumulated from every earlier verdict.
+This module parallelizes it *without changing a single verdict* using a
+frozen-filter / canonical-replay decomposition:
+
+1. The canonical non-decreasing ``(weight, repr(u), repr(v))`` edge order —
+   a materialized ``edges_sorted_by_weight()`` list or the PR-2 streaming
+   pipeline — is chunked into contiguous **weight bands**
+   (:func:`repro.metric.stream.edge_bands`; a pure function of the stream,
+   never of the worker count).
+2. Within a band, every edge is checked against the **frozen** spanner
+   ``H_frozen`` — the state after all previous bands finished.  Edges are
+   grouped by source endpoint and each group is decided by ONE bounded
+   ball of radius ``t · max(w)`` (the PR-5 verification discipline), run by
+   worker processes on a shared-memory :class:`CSRAdjacency` snapshot.
+   Rejection is **sound**: the serial greedy's ``H`` at examination time is a
+   superset of ``H_frozen``, so ``δ_frozen(u, v) ≤ t·w`` implies
+   ``δ_serial(u, v) ≤ t·w`` — the serial algorithm would have rejected too.
+   Across bands, every settled ``(source, x)`` pair is harvested into a
+   **monotone coverage cache** (the CachedDijkstraOracle argument: spanners
+   only grow and the canonical order only raises cutoffs, so a certified
+   bound ``δ(u, x) ≤ r`` keeps rejecting forever); covered pairs are
+   rejected by the parent before any ball is scheduled.
+3. Survivors ("candidates") are **replayed sequentially in canonical order**
+   against the live spanner.  By induction every replayed verdict equals the
+   serial verdict, so the constructed spanner is *byte-identical* to
+   :func:`repro.core.greedy.greedy_spanner` — for any band size and any
+   worker count (``builds_match`` in ``BENCH_build.json``; hypothesis-proven
+   in ``tests/core/test_parallel_greedy.py``).
+
+Counters are deterministic and worker-count independent too: groups are
+formed per band (not per shard), shards are
+:func:`~repro.experiments.harness.deterministic_shards` over whole groups,
+and shard results are reduced in shard order.
+
+Worker payloads carry a ~16-byte :class:`SharedCSRDescriptor` per task; the
+frozen snapshot's three arrays cross the process boundary through one
+``multiprocessing.shared_memory`` block per band, never through pickle.
+When fork or shared memory is unavailable (or ``workers <= 1``) the filter
+runs inline on the identical code path.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from itertools import chain
+from typing import Iterable, Optional
+
+from repro.errors import InvalidStretchError
+from repro.core.spanner import Spanner
+from repro.graph.csr import CSRAdjacency, SharedCSRDescriptor, attach_csr, share_csr
+from repro.graph.indexed_graph import IndexedGraph
+from repro.graph.shortest_paths import csr_bounded_search, indexed_bidirectional_cutoff
+from repro.graph.weighted_graph import WeightedEdge, WeightedGraph
+from repro.metric.base import FiniteMetric
+from repro.metric.closure import MetricClosure
+from repro.metric.stream import edge_bands, sorted_pair_stream
+
+#: Default number of weight bands the canonical order is split into.  More
+#: bands means a fresher frozen filter (fewer false candidates to replay)
+#: but more per-band synchronization and more filter balls per source; the
+#: measured sweet spot on the bench workloads is small (docs/PERFORMANCE.md).
+DEFAULT_BANDS = 8
+
+#: Average degree (``nnz / n``) above which the vectorized numpy ball kernel
+#: beats the scalar loop over bulk-converted CSR lists.  Per-settle numpy
+#: overhead (~10 µs of small-array calls) only amortizes once the adjacency
+#: slices are long — dense metric closures, not sparse geometric graphs
+#: (measured in docs/PERFORMANCE.md).
+SCALAR_KERNEL_MAX_DEGREE = 64.0
+
+#: A group is ``(source_id, [(canonical_index, target_id, weight), ...])``
+#: with items in canonical order, so the last item carries the max weight.
+FilterGroup = tuple[int, list[tuple[int, int, float]]]
+
+#: One shard's verdicts: candidate canonical indices, ball settle count and
+#: the harvest — per-source settled-vertex id lists for the coverage cache.
+ShardResult = tuple[list[int], int, list[tuple[int, list[int]]]]
+
+# Worker-side caches of the attached frozen snapshot (and its bulk list
+# conversion for the scalar kernel): bands reuse one attachment until the
+# parent publishes a new block under a new name.
+_ATTACHED: Optional[tuple[str, CSRAdjacency]] = None
+_ATTACHED_LISTS: Optional[tuple[str, tuple[list[int], list[int], list[float]]]] = None
+
+
+def _attached_csr(descriptor: SharedCSRDescriptor) -> CSRAdjacency:
+    global _ATTACHED
+    if _ATTACHED is not None and _ATTACHED[0] == descriptor.name:
+        return _ATTACHED[1]
+    if _ATTACHED is not None:
+        _ATTACHED[1].close_shared()
+    csr = attach_csr(descriptor)
+    _ATTACHED = (descriptor.name, csr)
+    return csr
+
+
+def _csr_as_lists(csr: CSRAdjacency) -> tuple[list[int], list[int], list[float]]:
+    """Bulk-convert CSR arrays to flat python lists for the scalar kernel."""
+    return csr.indptr.tolist(), csr.indices.tolist(), csr.weights.tolist()
+
+
+def _scalar_ball(
+    indptr: list[int],
+    indices: list[int],
+    weights: list[float],
+    source: int,
+    radius: float,
+) -> dict[int, float]:
+    """Bounded Dijkstra ball over flat CSR lists — the scalar filter kernel.
+
+    Same settled-dict discipline (and therefore the same settle count and
+    the same IEEE-identical distance sums) as ``_list_bounded`` /
+    ``csr_bounded_search`` in :mod:`repro.graph.shortest_paths`.  The ball
+    deliberately runs to its full radius even after every group target is
+    settled: the surplus is harvested into the coverage cache, where it
+    rejects later bands' edges for free (early exit was a measured net loss
+    — docs/PERFORMANCE.md).
+    """
+    settled: dict[int, float] = {}
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        dist, vertex = heappop(heap)
+        if vertex in settled:
+            continue
+        settled[vertex] = dist
+        for slot in range(indptr[vertex], indptr[vertex + 1]):
+            neighbour = indices[slot]
+            if neighbour in settled:
+                continue
+            new_dist = dist + weights[slot]
+            if new_dist <= radius:
+                heappush(heap, (new_dist, neighbour))
+    return settled
+
+
+def _filter_groups(
+    frozen: CSRAdjacency,
+    lists: Optional[tuple[list[int], list[int], list[float]]],
+    groups: list[FilterGroup],
+    t: float,
+) -> ShardResult:
+    """Decide one shard of per-source groups against the frozen snapshot.
+
+    Returns ``(candidate_indices, settles, harvest)``: the canonical indices
+    of the edges the frozen spanner could NOT reject, the ball settle count,
+    and the settled vertex ids of each ball (the parent merges them into the
+    monotone coverage cache).  Pure function of the arguments — and the
+    kernel choice is part of the arguments (``lists`` non-None selects the
+    scalar kernel), so verdicts, counts and harvests never depend on the
+    worker count: the determinism anchor.
+    """
+    candidates: list[int] = []
+    settles = 0
+    harvest: list[tuple[int, list[int]]] = []
+    for source_id, items in groups:
+        radius = t * items[-1][2]  # canonical order: last item has max weight
+        if lists is not None:
+            settled = _scalar_ball(lists[0], lists[1], lists[2], source_id, radius)
+        else:
+            settled = csr_bounded_search(frozen, source_id, radius)[1]
+        settles += len(settled)
+        harvest.append((source_id, list(settled)))
+        for canonical_index, target_id, weight in items:
+            distance = settled.get(target_id)
+            if distance is None or distance > t * weight:
+                candidates.append(canonical_index)
+    return candidates, settles, harvest
+
+
+def _filter_shard(payload) -> ShardResult:
+    """Worker entry point: attach the published snapshot, decide the shard."""
+    global _ATTACHED_LISTS
+    frozen, shard, t, scalar_kernel = payload
+    if isinstance(frozen, SharedCSRDescriptor):
+        name = frozen.name
+        frozen = _attached_csr(frozen)
+    else:
+        name = None
+    lists = None
+    if scalar_kernel:
+        if name is not None:
+            if _ATTACHED_LISTS is None or _ATTACHED_LISTS[0] != name:
+                _ATTACHED_LISTS = (name, _csr_as_lists(frozen))
+            lists = _ATTACHED_LISTS[1]
+        else:
+            lists = _csr_as_lists(frozen)
+    return _filter_groups(frozen, lists, shard, t)
+
+
+def _pack_pair(a: int, b: int) -> int:
+    """Pack an unordered vertex-id pair into one int (the oracle's key trick)."""
+    return (a << 32) | b if a < b else (b << 32) | a
+
+
+def parallel_greedy_spanner(
+    graph: WeightedGraph,
+    t: float,
+    *,
+    workers: Optional[int] = 1,
+    bands: int = DEFAULT_BANDS,
+    band_edges: Optional[int] = None,
+    edges: Optional[Iterable[WeightedEdge]] = None,
+) -> Spanner:
+    """Build the greedy ``t``-spanner on the CSR + band-parallel path.
+
+    Byte-identical to ``greedy_spanner(graph, t)`` — same edge set, same
+    weights — for every ``workers`` / ``bands`` / ``band_edges`` choice; the
+    knobs trade filter freshness against synchronization, never correctness.
+
+    Parameters
+    ----------
+    graph:
+        The weighted graph ``G`` (lazy views such as
+        :class:`~repro.metric.closure.MetricClosure` work: only the vertex
+        set, ``number_of_edges`` and a sorted edge source are consumed).
+    t:
+        The stretch parameter, ``t ≥ 1``.
+    workers:
+        Worker processes for the band filter, resolved like the PR-5
+        executor (``None``/``0`` → 1, negative → all cores).  ``1`` runs the
+        identical filter inline — same spanner, same counters.
+    bands:
+        Target number of weight bands (ignored when ``band_edges`` is given).
+    band_edges:
+        Explicit band size in edges; defaults to ``m / bands``.
+    edges:
+        Optional canonical-order edge source overriding
+        ``graph.edges_sorted_by_weight()`` (e.g. the streaming pipeline).
+
+    Returns
+    -------
+    Spanner
+        Metadata counters: ``edges_examined`` / ``edges_added`` (as the
+        serial builder), ``build_filter_settles`` / ``build_replay_settles``
+        / ``build_candidate_edges`` / ``build_bands`` (all deterministic and
+        worker-count independent), ``build_workers``,
+        ``build_shared_memory`` (1.0 when snapshots crossed through shared
+        memory) and ``dijkstra_settles`` (filter + replay total, comparable
+        with the serial strategies).
+    """
+    if t < 1.0:
+        raise InvalidStretchError(f"stretch must be at least 1, got {t}")
+    from repro.experiments.harness import (
+        deterministic_shards,
+        fork_available,
+        resolve_worker_count,
+    )
+
+    worker_count = resolve_worker_count(workers)
+    spanner_graph = graph.empty_spanning_subgraph()
+    mirror = IndexedGraph(vertices=graph.vertices())
+    if edges is None:
+        edges = graph.edges_sorted_by_weight()
+    total_edges = graph.number_of_edges
+    if band_edges is None:
+        band_edges = max(1, -(-total_edges // max(1, bands)))
+
+    pool = None
+    if worker_count > 1 and fork_available():
+        import multiprocessing
+
+        try:
+            # Start the shared-memory resource tracker BEFORE forking the
+            # pool: forked workers then inherit it, so their attach-side
+            # registrations dedup against the parent's instead of spawning
+            # per-worker trackers that race the parent's unlink at exit.
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - private API safety net
+            pass
+        pool = multiprocessing.get_context("fork").Pool(processes=worker_count)
+
+    examined = 0
+    added = 0
+    band_count = 0
+    filter_settles = 0
+    replay_settles = 0
+    candidate_total = 0
+    cache_hits = 0
+    used_shared_memory = False
+    pool_fallbacks = 0
+    scalar_bands = 0
+    #: Monotone coverage cache: packed unordered pairs (u, x) certified
+    #: ``δ(u, x) ≤ r`` by some earlier ball or replay search of radius
+    #: ``r ≤ t·w`` for every weight ``w`` still ahead in the canonical order
+    #: (bands are non-decreasing), so membership alone rejects forever.
+    covered: set[int] = set()
+    intern = mirror.intern
+    try:
+        for band in edge_bands(edges, band_edges):
+            band_count += 1
+            groups: dict[int, list[tuple[int, int, float]]] = {}
+            info: dict[int, tuple] = {}
+            for offset, (u, v, weight) in enumerate(band):
+                canonical_index = examined + offset
+                uid = intern(u)
+                vid = intern(v)
+                if _pack_pair(uid, vid) in covered:
+                    cache_hits += 1
+                    continue
+                groups.setdefault(uid, []).append((canonical_index, vid, weight))
+                info[canonical_index] = (u, v, uid, vid, weight)
+            examined += len(band)
+            frozen = mirror.finalize()
+            scalar_kernel = frozen.nnz <= SCALAR_KERNEL_MAX_DEGREE * max(1, frozen.n)
+            if scalar_kernel:
+                scalar_bands += 1
+            group_items: list[FilterGroup] = list(groups.items())
+            results: Optional[list[ShardResult]] = None
+            if pool is not None and len(group_items) > 1:
+                shards = deterministic_shards(group_items, worker_count)
+                shm = None
+                try:
+                    try:
+                        shm, descriptor = share_csr(frozen)
+                        payload_frozen: object = descriptor
+                        used_shared_memory = True
+                    except Exception:
+                        payload_frozen = frozen  # pickled fallback, still exact
+                    results = pool.map(
+                        _filter_shard,
+                        [(payload_frozen, shard, t, scalar_kernel) for shard in shards],
+                    )
+                except Exception:
+                    pool_fallbacks += 1
+                    results = None
+                finally:
+                    if shm is not None:
+                        shm.close()
+                        shm.unlink()
+            if results is None and group_items:
+                lists = _csr_as_lists(frozen) if scalar_kernel else None
+                results = [_filter_groups(frozen, lists, group_items, t)]
+            results = results or []
+            candidates = sorted(chain.from_iterable(part for part, _, _ in results))
+            filter_settles += sum(settles for _, settles, _ in results)
+            candidate_total += len(candidates)
+            for _, _, harvest in results:
+                for source_id, settled_ids in harvest:
+                    for x in settled_ids:
+                        covered.add(_pack_pair(source_id, x))
+            for canonical_index in candidates:
+                u, v, uid, vid, weight = info[canonical_index]
+                cutoff = t * weight
+                distance, settled_f, settled_b = indexed_bidirectional_cutoff(
+                    mirror, uid, vid, cutoff
+                )
+                replay_settles += len(settled_f) + len(settled_b)
+                # Replay half-balls are certified bounds on the live (even
+                # larger) spanner at cutoff t·w ≤ every future cutoff — free
+                # coverage, exactly the oracle's harvesting.
+                for x in settled_f:
+                    covered.add(_pack_pair(uid, x))
+                for x in settled_b:
+                    covered.add(_pack_pair(vid, x))
+                if distance > cutoff:
+                    spanner_graph.add_edge(u, v, weight)
+                    mirror.append_edge_unchecked_ids(uid, vid, weight)
+                    added += 1
+                    covered.add(_pack_pair(uid, vid))
+    finally:
+        if pool is not None:
+            pool.close()
+            pool.join()
+
+    metadata = {
+        "distance_queries": float(examined),
+        "dijkstra_settles": float(filter_settles + replay_settles),
+        "edges_examined": float(examined),
+        "edges_added": float(added),
+        "build_filter_settles": float(filter_settles),
+        "build_replay_settles": float(replay_settles),
+        "build_candidate_edges": float(candidate_total),
+        "build_cache_hits": float(cache_hits),
+        "build_bands": float(band_count),
+        "build_scalar_bands": float(scalar_bands),
+        "build_workers": float(worker_count),
+        "build_shared_memory": 1.0 if used_shared_memory else 0.0,
+        "build_pool_fallbacks": float(pool_fallbacks),
+    }
+    return Spanner(
+        base=graph,
+        subgraph=spanner_graph,
+        stretch=t,
+        algorithm="greedy-parallel",
+        metadata=metadata,
+    )
+
+
+def parallel_greedy_spanner_of_metric(
+    metric: FiniteMetric,
+    t: float,
+    *,
+    workers: Optional[int] = 1,
+    bands: int = DEFAULT_BANDS,
+) -> Spanner:
+    """Band-parallel greedy on the complete graph of a finite metric space.
+
+    The Θ(n²) complete graph is never materialized: bands are cut straight
+    from the PR-2 streaming pipeline and the spanner's ``base`` is the lazy
+    :class:`MetricClosure` view, exactly as in
+    :func:`~repro.core.greedy.greedy_spanner_of_metric`.
+    """
+    closure = MetricClosure(metric)
+    spanner = parallel_greedy_spanner(
+        closure, t, workers=workers, bands=bands, edges=sorted_pair_stream(metric)
+    )
+    spanner.algorithm = "greedy-parallel-metric"
+    return spanner

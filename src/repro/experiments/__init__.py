@@ -13,6 +13,7 @@ from repro.experiments.workloads import WorkloadSpec, get_workload, list_workloa
 from repro.experiments.experiments import (
     experiment_approximate_greedy,
     experiment_broadcast,
+    experiment_build_matrix,
     experiment_comparison,
     experiment_degree,
     experiment_doubling_metrics,
@@ -42,6 +43,11 @@ from repro.experiments.verify_bench import (
     run_verify_bench,
     verify_workload,
 )
+from repro.experiments.build_bench import (
+    BUILD_PRESETS,
+    bucketed_workload,
+    run_build_bench,
+)
 
 __all__ = [
     "ExperimentResult",
@@ -58,6 +64,7 @@ __all__ = [
     "register",
     "experiment_approximate_greedy",
     "experiment_broadcast",
+    "experiment_build_matrix",
     "experiment_comparison",
     "experiment_degree",
     "experiment_doubling_metrics",
@@ -80,4 +87,7 @@ __all__ = [
     "VERIFY_PRESETS",
     "run_verify_bench",
     "verify_workload",
+    "BUILD_PRESETS",
+    "bucketed_workload",
+    "run_build_bench",
 ]

@@ -1,0 +1,300 @@
+"""Construction benchmark matrix: the perf trajectory behind ``repro bench-build``.
+
+PRs 1–5 put verification, overlays and oracles on indexed, sharded fast
+paths; construction itself — the greedy loop of Algorithm 1 — remained the
+last pure-python bottleneck.  This bench measures end-to-end greedy
+construction per *strategy* on one shared workload instance:
+
+* ``greedy-edge-list`` — the per-edge bounded-ball list path: one cutoff
+  Dijkstra ball per examined edge, no amortization.  This is the hot loop
+  the CSR band filter replaces, and the denominator of the gated
+  ``build_speedup``.
+* ``greedy-serial`` — the repo's default serial path (cached oracle), the
+  strongest sequential baseline; its ratio is reported as
+  ``cached_speedup`` so the trajectory stays honest about how much of the
+  win is amortization (shared with the oracle) versus banding.
+* ``csr-parallel-w1`` — :func:`repro.core.parallel_greedy.parallel_greedy_spanner`
+  with one worker: the CSR band filter + canonical replay, inline.
+* ``csr-parallel-wn`` — the same path fanned across worker processes with
+  shared-memory CSR snapshots.  ``workers_speedup`` (w1 / wn wall-clock)
+  and ``cpu_count`` are recorded verbatim: on a single-core host the ratio
+  honestly hovers near 1.
+
+Every strategy must produce the *byte-identical* greedy edge set — the
+``builds_match`` cross-check flag that ``scripts/check_bench_regression.py``
+fails on — and the deterministic ``build_*`` counters are diffed against the
+committed baseline in ``benchmarks/BENCH_build.json`` exactly like the
+oracle/overlay/verify trajectories.  Rows marked ``gate_build_speedup``
+additionally enforce ``--min-build-speedup`` (default 3×) on
+``build_speedup``.
+
+The scale rows use :func:`repro.graph.generators.bucketed_geometric_graph`
+(the O(n + m) spatial-hash generator): at ``n = 10⁵`` the quadratic
+all-pairs generator would dwarf construction itself.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.greedy import greedy_spanner, greedy_spanner_of_metric
+from repro.core.parallel_greedy import (
+    parallel_greedy_spanner,
+    parallel_greedy_spanner_of_metric,
+)
+from repro.core.spanner import Spanner
+from repro.graph.weighted_graph import WeightedGraph
+from repro.metric.base import FiniteMetric
+
+SCHEMA_VERSION = 1
+
+#: Strategy order is execution order; later derived ratios assume it.
+DEFAULT_STRATEGIES = (
+    "greedy-edge-list",
+    "greedy-serial",
+    "csr-parallel-w1",
+    "csr-parallel-wn",
+)
+
+#: Worker count of the ``csr-parallel-wn`` strategy when ``--workers`` is
+#: not given.
+DEFAULT_FAN_WORKERS = 4
+
+#: The deterministic operation counts the regression checker compares.
+OPERATION_COUNT_KEYS = (
+    "build_filter_settles",
+    "build_replay_settles",
+    "build_candidate_edges",
+)
+
+
+def bucketed_workload(
+    n: int = 20000, degree: float = 96.0, seed: int = 3, stretch: float = 2.0
+) -> dict[str, object]:
+    """A bucketed geometric workload pinned by *average degree*, not radius.
+
+    The radius that yields the expected degree follows from the unit-square
+    point density: ``π·r²·n = degree``.
+    """
+    return {
+        "kind": "bucketed-geometric",
+        "n": int(n),
+        "degree": float(degree),
+        "seed": int(seed),
+        "stretch": float(stretch),
+    }
+
+
+def euclidean_build_workload(
+    n: int = 400, dim: int = 2, seed: int = 7, stretch: float = 2.0
+) -> dict[str, object]:
+    """A uniform-Euclidean metric workload (streamed complete graph)."""
+    return {
+        "kind": "uniform-euclidean",
+        "n": int(n),
+        "dim": int(dim),
+        "seed": int(seed),
+        "stretch": float(stretch),
+    }
+
+
+def workload_key(workload: dict[str, object]) -> str:
+    """Stable run key joining baseline and fresh runs of one workload."""
+    if workload["kind"] == "bucketed-geometric":
+        return "bucketed-n{}-d{}-seed{}-t{}".format(
+            int(workload["n"]), float(workload["degree"]), int(workload["seed"]),
+            float(workload["stretch"]),
+        )
+    from repro.experiments.oracle_bench import workload_key as _oracle_workload_key
+
+    return _oracle_workload_key(workload)
+
+
+def _build_instance(
+    workload: dict[str, object],
+) -> tuple[Optional[WeightedGraph], Optional[FiniteMetric]]:
+    """Instantiate a workload as ``(graph, metric)`` (exactly one non-None)."""
+    if workload["kind"] == "bucketed-geometric":
+        from repro.graph.generators import bucketed_geometric_graph
+
+        n = int(workload["n"])
+        radius = math.sqrt(float(workload["degree"]) / (math.pi * max(1, n)))
+        return bucketed_geometric_graph(n, radius, seed=int(workload["seed"])), None
+    from repro.experiments.oracle_bench import _build_instance as _oracle_instance
+
+    _, metric = _oracle_instance(workload)
+    return None, metric
+
+
+def _build_presets() -> dict[str, tuple[dict[str, object], tuple[str, ...], bool]]:
+    """The named rows of the construction matrix.
+
+    Each value is ``(workload, strategies, gate_build_speedup)``.  The first
+    two rows are CI-sized; the ``n = 2·10⁴`` row is the tuning row of
+    docs/PERFORMANCE.md; the ``n = 10⁵`` row is the committed scale evidence
+    and the only row whose ``build_speedup`` the regression gate enforces
+    (the per-edge baseline alone costs minutes there — regenerate offline,
+    not in CI).
+    """
+    rows: tuple[tuple[dict[str, object], tuple[str, ...], bool], ...] = (
+        (bucketed_workload(n=300, degree=16.0), DEFAULT_STRATEGIES, False),
+        # The metric row streams the complete graph; the per-edge baseline
+        # pays Θ(n²) balls, so it stays CI-sized.
+        (euclidean_build_workload(n=150, stretch=1.5), DEFAULT_STRATEGIES, False),
+        (bucketed_workload(n=20000, degree=96.0), DEFAULT_STRATEGIES, False),
+        (bucketed_workload(n=100000, degree=96.0), DEFAULT_STRATEGIES, True),
+    )
+    return {workload_key(w): (w, strategies, gated) for w, strategies, gated in rows}
+
+
+#: workload key -> (workload, default strategies, gate_build_speedup).
+BUILD_PRESETS = _build_presets()
+
+
+def _canonical_edges(spanner: Spanner) -> list[tuple[object, object, float]]:
+    """The spanner's edge set in a canonical, exactly-comparable form."""
+    edges = []
+    for u, v, weight in spanner.subgraph.edges():
+        a, b = (u, v) if repr(u) <= repr(v) else (v, u)
+        edges.append((repr(a), repr(b), float(weight)))
+    edges.sort()
+    return edges
+
+
+def _run_strategy(
+    name: str,
+    graph: Optional[WeightedGraph],
+    metric: Optional[FiniteMetric],
+    stretch: float,
+    fan_workers: int,
+) -> Spanner:
+    if name == "greedy-edge-list":
+        if metric is not None:
+            return greedy_spanner_of_metric(metric, stretch, oracle="bounded")
+        return greedy_spanner(graph, stretch, oracle="bounded")
+    if name == "greedy-serial":
+        if metric is not None:
+            return greedy_spanner_of_metric(metric, stretch)
+        return greedy_spanner(graph, stretch)
+    if name == "csr-parallel-w1":
+        if metric is not None:
+            return parallel_greedy_spanner_of_metric(metric, stretch, workers=1)
+        return parallel_greedy_spanner(graph, stretch, workers=1)
+    if name == "csr-parallel-wn":
+        if metric is not None:
+            return parallel_greedy_spanner_of_metric(metric, stretch, workers=fan_workers)
+        return parallel_greedy_spanner(graph, stretch, workers=fan_workers)
+    raise ValueError(f"unknown build strategy {name!r}")
+
+
+def run_build_bench(
+    workload: dict[str, object],
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    *,
+    workers: Optional[int] = None,
+    gate_build_speedup: bool = False,
+) -> dict[str, object]:
+    """Build the greedy spanner once per strategy; returns one run record.
+
+    The record mirrors the oracle/overlay/verify bench shape (``"strategies"``
+    keyed by name) so :func:`scripts.check_bench_regression.find_regressions`
+    gates all four trajectories with the same code.  The workload instance is
+    generated once and shared; every strategy's edge set is compared exactly
+    (``builds_match``).
+    """
+    from repro.experiments.harness import resolve_worker_count
+
+    graph, metric = _build_instance(workload)
+    stretch = float(workload["stretch"])
+    fan_workers = resolve_worker_count(int(workers)) if workers else DEFAULT_FAN_WORKERS
+
+    records: dict[str, dict[str, float]] = {}
+    edge_sets: dict[str, list] = {}
+    for name in strategies:
+        start = time.perf_counter()
+        spanner = _run_strategy(name, graph, metric, stretch, fan_workers)
+        seconds = time.perf_counter() - start
+        record: dict[str, float] = {"build_seconds": seconds}
+        record.update(
+            {k: float(v) for k, v in spanner.metadata.items() if isinstance(v, (int, float))}
+        )
+        record["spanner_edges"] = float(spanner.number_of_edges)
+        records[name] = record
+        edge_sets[name] = _canonical_edges(spanner)
+
+    result: dict[str, object] = {
+        "workload": dict(workload),
+        "strategies": records,
+        "n": graph.number_of_vertices if graph is not None else int(workload["n"]),
+        "edges": float(graph.number_of_edges) if graph is not None else float(
+            int(workload["n"]) * (int(workload["n"]) - 1) // 2
+        ),
+        "cpu_count": float(os.cpu_count() or 1),
+        "fan_workers": float(fan_workers),
+    }
+    if len(edge_sets) > 1:
+        reference = next(iter(edge_sets.values()))
+        # Exact comparison is intentional: the parallel builder's replay
+        # discipline guarantees byte-identical edge sets, not just equal
+        # weights up to rounding.
+        result["builds_match"] = all(edges == reference for edges in edge_sets.values())
+    if "greedy-edge-list" in records and "csr-parallel-w1" in records:
+        csr_seconds = records["csr-parallel-w1"]["build_seconds"]
+        if csr_seconds > 0:
+            result["build_speedup"] = (
+                records["greedy-edge-list"]["build_seconds"] / csr_seconds
+            )
+    if "greedy-serial" in records and "csr-parallel-w1" in records:
+        csr_seconds = records["csr-parallel-w1"]["build_seconds"]
+        if csr_seconds > 0:
+            result["cached_speedup"] = (
+                records["greedy-serial"]["build_seconds"] / csr_seconds
+            )
+    if "csr-parallel-w1" in records and "csr-parallel-wn" in records:
+        wn_seconds = records["csr-parallel-wn"]["build_seconds"]
+        if wn_seconds > 0:
+            result["workers_speedup"] = (
+                records["csr-parallel-w1"]["build_seconds"] / wn_seconds
+            )
+    if gate_build_speedup:
+        result["gate_build_speedup"] = True
+    return result
+
+
+def merge_run_into_file(path: str | Path, run: dict[str, object]) -> dict[str, object]:
+    """Merge ``run`` into the build trajectory at ``path`` (created if missing).
+
+    One entry per workload key under ``"runs"``, latest run wins — the same
+    contract as the oracle, overlay and verify trajectory files.
+    """
+    path = Path(path)
+    if path.exists():
+        document = json.loads(path.read_text())
+    else:
+        document = {
+            "schema": SCHEMA_VERSION,
+            "description": (
+                "Greedy construction benchmark trajectory (per-strategy build "
+                "wall-clock + deterministic band/filter counters); see "
+                "docs/PERFORMANCE.md. Regenerate with `repro bench-build`."
+            ),
+            "runs": {},
+        }
+    document.setdefault("runs", {})[workload_key(run["workload"])] = run
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document
+
+
+def render_rows(run: dict[str, object]) -> list[dict[str, object]]:
+    """Flatten a run record into report-table rows (one per strategy)."""
+    rows = []
+    for name, record in run["strategies"].items():
+        row: dict[str, object] = {"strategy": name}
+        row.update(record)
+        rows.append(row)
+    return rows

@@ -8,8 +8,12 @@ helpers.
 
 from repro.graph.weighted_graph import WeightedGraph
 from repro.graph.indexed_graph import IndexedGraph
+from repro.graph.csr import CSRAdjacency, SharedCSRDescriptor, attach_csr, share_csr
 from repro.graph.shortest_paths import (
     all_pairs_distances,
+    csr_bidirectional_cutoff,
+    csr_bounded_search,
+    csr_sssp,
     dijkstra,
     dijkstra_with_cutoff,
     dijkstra_with_cutoff_stats,
@@ -43,7 +47,14 @@ from repro.graph.girth import unweighted_girth, weighted_girth
 __all__ = [
     "WeightedGraph",
     "IndexedGraph",
+    "CSRAdjacency",
+    "SharedCSRDescriptor",
+    "attach_csr",
+    "share_csr",
     "all_pairs_distances",
+    "csr_bidirectional_cutoff",
+    "csr_bounded_search",
+    "csr_sssp",
     "dijkstra",
     "dijkstra_with_cutoff",
     "dijkstra_with_cutoff_stats",

@@ -54,7 +54,14 @@ class IndexedGraph:
     (0, 2)
     """
 
-    __slots__ = ("_id_of", "_vertex_of", "_neighbour_ids", "_neighbour_weights", "_edge_count")
+    __slots__ = (
+        "_id_of",
+        "_vertex_of",
+        "_neighbour_ids",
+        "_neighbour_weights",
+        "_edge_count",
+        "_csr",
+    )
 
     def __init__(
         self,
@@ -66,6 +73,7 @@ class IndexedGraph:
         self._neighbour_ids: list[list[int]] = []
         self._neighbour_weights: list[list[float]] = []
         self._edge_count = 0
+        self._csr = None
         if vertices is not None:
             for vertex in vertices:
                 self.intern(vertex)
@@ -85,6 +93,7 @@ class IndexedGraph:
             self._vertex_of.append(vertex)
             self._neighbour_ids.append([])
             self._neighbour_weights.append([])
+            self._csr = None  # n changed: any finalized snapshot is stale
         return vid
 
     def add_vertices(self, vertices: Iterable[Vertex]) -> None:
@@ -135,6 +144,7 @@ class IndexedGraph:
             self._neighbour_weights[uid][slot] = value
             back = self._neighbour_ids[vid].index(uid)
             self._neighbour_weights[vid][back] = value
+            self._csr = None  # weight overwrite bypasses _append_half_edge
 
     def append_edge_unchecked(self, u: Vertex, v: Vertex, weight: float) -> None:
         """Append the edge ``(u, v)`` *assuming it is not already present*.
@@ -174,6 +184,7 @@ class IndexedGraph:
     def _append_half_edge(self, uid: int, vid: int, weight: float) -> None:
         self._neighbour_ids[uid].append(vid)
         self._neighbour_weights[uid].append(weight)
+        self._csr = None
 
     # ------------------------------------------------------------------
     # Queries
@@ -208,6 +219,28 @@ class IndexedGraph:
     def incident_ids(self, vid: int) -> Iterator[tuple[int, float]]:
         """Iterate over ``(neighbour_id, weight)`` pairs of ``vid``."""
         return zip(self._neighbour_ids[vid], self._neighbour_weights[vid])
+
+    def finalize(self):
+        """Return the CSR snapshot of the current adjacency, rebuilding if stale.
+
+        The snapshot (:class:`~repro.graph.csr.CSRAdjacency` — flat numpy
+        ``indptr`` / ``indices`` / ``weights`` arrays preserving per-vertex
+        neighbour order) is cached on the graph and invalidated by *any*
+        mutation: interning a new vertex, appending a half-edge, or
+        overwriting an edge weight.  Alternating mutate/search phases
+        therefore pay one O(n + m) rebuild per phase, amortized across every
+        ``mode="csr"`` search that reuses it.  Callers must treat the
+        returned arrays as immutable.
+        """
+        csr = self._csr
+        if csr is None:
+            from repro.graph.csr import CSRAdjacency
+
+            csr = CSRAdjacency.from_adjacency_lists(
+                self._neighbour_ids, self._neighbour_weights
+            )
+            self._csr = csr
+        return csr
 
     def adjacency_arrays(self) -> tuple[list[list[int]], list[list[float]]]:
         """Return the raw parallel adjacency arrays (shared, not copied).

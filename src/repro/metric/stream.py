@@ -282,3 +282,32 @@ def stream_is_order_identical(metric: FiniteMetric, **kwargs: int) -> bool:
     """
     materialized = metric.complete_graph().edges_sorted_by_weight()
     return list(sorted_pair_stream(metric, **kwargs)) == materialized
+
+
+def edge_bands(
+    edges: "Iterator[PairTriple] | Sequence[PairTriple]", band_size: int
+) -> Iterator[list[PairTriple]]:
+    """Chunk a canonical sorted edge stream into contiguous weight bands.
+
+    Yields lists of at least ``band_size`` edges, extending each band until
+    the weight strictly increases so a tie plateau is never split across two
+    bands.  The partition is a pure function of ``(edges, band_size)`` —
+    worker-count independent, which is what lets the parallel spanner builder
+    (:mod:`repro.core.parallel_greedy`) freeze one spanner snapshot per band
+    and still produce byte-identical results for 1 vs N workers.  The stream
+    is consumed lazily: only the current band is ever held in memory, so
+    metric workloads keep the O(n + band) footprint of
+    :func:`sorted_pair_stream`.
+    """
+    if band_size < 1:
+        raise ValueError(f"band_size must be positive, got {band_size}")
+    iterator = iter(edges)
+    band: list[PairTriple] = []
+    for triple in iterator:
+        if len(band) >= band_size and triple[2] > band[-1][2]:
+            yield band
+            band = [triple]
+        else:
+            band.append(triple)
+    if band:
+        yield band

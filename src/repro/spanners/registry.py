@@ -201,6 +201,24 @@ def _build_greedy(workload: Workload, stretch: float, *, oracle: str = "cached")
     return greedy_spanner(workload, stretch, oracle=oracle)
 
 
+def _build_greedy_parallel(
+    workload: Workload,
+    stretch: float,
+    *,
+    workers: Optional[int] = 1,
+    bands: int = 16,
+) -> Spanner:
+    from repro.core.parallel_greedy import (
+        parallel_greedy_spanner,
+        parallel_greedy_spanner_of_metric,
+    )
+
+    metric = as_metric(workload)
+    if metric is not None:
+        return parallel_greedy_spanner_of_metric(metric, stretch, workers=workers, bands=bands)
+    return parallel_greedy_spanner(workload, stretch, workers=workers, bands=bands)
+
+
 def _build_approx_greedy(
     workload: Workload,
     stretch: float,
@@ -273,6 +291,13 @@ def _register_default_builders() -> None:
         domain="weighted graphs and finite metrics",
         supports=_any_workload,
         build_fn=_build_greedy,
+    ))
+    register_builder(SpannerBuilder(
+        name="greedy-parallel",
+        description="Algorithm 1 on the CSR + band-parallel path (byte-identical spanner)",
+        domain="weighted graphs and finite metrics",
+        supports=_any_workload,
+        build_fn=_build_greedy_parallel,
     ))
     register_builder(SpannerBuilder(
         name="approx-greedy",

@@ -18,6 +18,7 @@ from repro.spanners.registry import (
 
 EXPECTED_NAMES = {
     "greedy",
+    "greedy-parallel",
     "approx-greedy",
     "theta",
     "yao",

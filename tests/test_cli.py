@@ -253,3 +253,60 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "[E12]" in output
         assert "verdicts_match=True" in output
+
+    def test_bench_build_writes_trajectory(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_build.json"
+        assert main(
+            ["bench-build", "--n", "60", "--degree", "8", "--workers", "2",
+             "--output", str(out)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "builds_match: True" in output
+        assert "csr-parallel-w1" in output
+        assert out.exists()
+
+    def test_bench_build_euclidean_kind(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_build.json"
+        assert main(
+            ["bench-build", "--kind", "euclidean", "--n", "40",
+             "--stretch", "1.5", "--output", str(out)]
+        ) == 0
+        assert "builds_match: True" in capsys.readouterr().out
+
+    def test_bench_build_rejects_unknown_strategy(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_build.json"
+        assert main(
+            ["bench-build", "--n", "40", "--strategies", "warp-drive",
+             "--output", str(out)]
+        ) == 2
+        assert "unknown build strategies" in capsys.readouterr().out
+
+    def test_bench_build_rejects_unknown_workload_key(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_build.json"
+        assert main(
+            ["bench-build", "--workloads", "no-such-row", "--output", str(out)]
+        ) == 2
+        assert "unknown build workloads" in capsys.readouterr().out
+
+    def test_bench_parsers_share_the_matrix_option_group(self):
+        """Every bench-* subcommand carries the shared --workloads/--output
+        group; --workers and --no-memory stay opt-in per command."""
+        parser = build_parser()
+        for command, extra in (
+            ("bench-oracles", ["--no-memory"]),
+            ("bench-overlays", []),
+            ("bench-verify", ["--workers", "2"]),
+            ("bench-faults", []),
+            ("bench-build", ["--workers", "2"]),
+        ):
+            args = parser.parse_args(
+                [command, "--workloads", "all", "--output", "X.json"] + extra
+            )
+            assert args.workloads == "all"
+            assert args.output == "X.json"
+
+    def test_experiment_e14_quick(self, capsys):
+        assert main(["experiment", "E14", "--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "[E14]" in output
+        assert "builds_match=True" in output
