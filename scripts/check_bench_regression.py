@@ -44,6 +44,16 @@ pass ``--fresh-build`` / ``--baseline-build`` to gate it.  Runs marked
 band-parallel path — of at least ``--min-build-speedup`` (default 3×),
 checked in both documents like the repair gate.
 
+The service chaos benchmark (``repro bench-service``) emits ``service_*``
+recovery/event counters plus the recovery guarantee flags
+(``service_verified``, ``rebuild_matches``, ``never_served_corrupt``,
+``warm_cache_hit``, ``reclaim_completed``, ``chaos_recovered``); pass
+``--fresh-service`` / ``--baseline-service`` to gate it.  Runs marked
+``gate_serve_ratio`` (the committed ``n = 10⁴`` scale row) must record a
+``warm_serve_ratio`` — warm cache-hit wall-clock over cold build
+wall-clock — of at most ``--max-serve-ratio`` (default 0.01), checked in
+both documents like the other scale-row gates.
+
 Usage (standalone)::
 
     python scripts/check_bench_regression.py \
@@ -123,6 +133,20 @@ OPERATION_COUNT_KEYS = (
     "build_filter_settles",
     "build_replay_settles",
     "build_candidate_edges",
+    # Service trajectory (repro.experiments.service_bench): recovery and
+    # cache event counts of the chaos sequence (all deterministic — each
+    # phase induces a fixed number of failures).
+    "service_jobs_done",
+    "service_jobs_failed",
+    "service_cache_hits",
+    "service_cache_misses",
+    "service_cache_puts",
+    "service_corrupt_quarantined",
+    "service_corrupt_rebuilds",
+    "service_lease_reclaims",
+    "service_poison_quarantined",
+    "service_worker_deaths",
+    "service_spanner_edges",
 )
 
 #: Boolean cross-check flags a fresh run must not record as false
@@ -136,6 +160,15 @@ CROSS_CHECK_FLAGS = (
     "post_repair_verified",
     "fault_replay_match",
     "builds_match",
+    # Service trajectory: the recovery guarantees (verified serve, a
+    # corrupted artifact quarantined and rebuilt byte-identical, warm hit,
+    # expired lease reclaimed, injected worker death survived).
+    "service_verified",
+    "rebuild_matches",
+    "never_served_corrupt",
+    "warm_cache_hit",
+    "reclaim_completed",
+    "chaos_recovered",
 )
 
 #: Default minimum repair-vs-rebuild settle speedup on runs marked
@@ -146,6 +179,11 @@ DEFAULT_MIN_REPAIR_SPEEDUP = 5.0
 #: on runs marked ``gate_build_speedup`` (the construction trajectory's
 #: scale-row acceptance bar).
 DEFAULT_MIN_BUILD_SPEEDUP = 3.0
+
+#: Default maximum warm-serve/cold-build wall-clock ratio on service runs
+#: marked ``gate_serve_ratio`` (the service trajectory's scale-row
+#: acceptance bar: a warm cache hit must serve in under 1% of the build).
+DEFAULT_MAX_SERVE_RATIO = 0.01
 
 
 def load_document(path: str | Path) -> dict:
@@ -160,6 +198,7 @@ def find_regressions(
     threshold: float = DEFAULT_THRESHOLD,
     min_repair_speedup: float = DEFAULT_MIN_REPAIR_SPEEDUP,
     min_build_speedup: float = DEFAULT_MIN_BUILD_SPEEDUP,
+    max_serve_ratio: float = DEFAULT_MAX_SERVE_RATIO,
 ) -> list[str]:
     """Return human-readable regression descriptions (empty list = all good).
 
@@ -179,6 +218,7 @@ def find_regressions(
     # evidence falls below the bar is a problem even if CI didn't rerun it.
     seen_gated: set[str] = set()
     seen_build_gated: set[str] = set()
+    seen_serve_gated: set[str] = set()
     for label, runs in (("fresh", fresh_runs), ("baseline", baseline_runs)):
         for key, run in sorted(runs.items()):
             if run.get("gate_repair_speedup") and key not in seen_gated:
@@ -198,6 +238,15 @@ def find_regressions(
                         f"{key}: {label} build speedup {speedup:.2f}x is below the "
                         f"required {min_build_speedup:.2f}x (per-edge baseline / "
                         "CSR band-parallel wall-clock on a gated row)"
+                    )
+            if run.get("gate_serve_ratio") and key not in seen_serve_gated:
+                seen_serve_gated.add(key)
+                ratio = float(run.get("warm_serve_ratio", 1.0))
+                if ratio > max_serve_ratio:
+                    problems.append(
+                        f"{key}: {label} warm serve ratio {ratio:.4f} exceeds the "
+                        f"allowed {max_serve_ratio:.4f} (warm cache hit / cold "
+                        "build wall-clock on a gated row)"
                     )
     shared = sorted(set(baseline_runs) & set(fresh_runs))
     if not shared:
@@ -302,6 +351,16 @@ def main(argv: list[str] | None = None) -> int:
         help="committed construction baseline trajectory",
     )
     parser.add_argument(
+        "--fresh-service",
+        default=None,
+        help="freshly emitted service trajectory (BENCH_service.json); optional",
+    )
+    parser.add_argument(
+        "--baseline-service",
+        default="benchmarks/BENCH_service.json",
+        help="committed service baseline trajectory",
+    )
+    parser.add_argument(
         "--threshold",
         type=float,
         default=DEFAULT_THRESHOLD,
@@ -325,6 +384,15 @@ def main(argv: list[str] | None = None) -> int:
             "of build runs marked gate_build_speedup (checked in baseline and fresh)"
         ),
     )
+    parser.add_argument(
+        "--max-serve-ratio",
+        type=float,
+        default=DEFAULT_MAX_SERVE_RATIO,
+        help=(
+            "maximum warm-serve/cold-build wall-clock ratio allowed of "
+            "service runs marked gate_serve_ratio (checked in baseline and fresh)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     pairs = [("oracles", args.baseline, args.fresh)]
@@ -336,6 +404,8 @@ def main(argv: list[str] | None = None) -> int:
         pairs.append(("faults", args.baseline_faults, args.fresh_faults))
     if args.fresh_build is not None:
         pairs.append(("build", args.baseline_build, args.fresh_build))
+    if args.fresh_service is not None:
+        pairs.append(("service", args.baseline_service, args.fresh_service))
 
     problems: list[str] = []
     for label, baseline_path, fresh_path in pairs:
@@ -351,6 +421,7 @@ def main(argv: list[str] | None = None) -> int:
                 threshold=args.threshold,
                 min_repair_speedup=args.min_repair_speedup,
                 min_build_speedup=args.min_build_speedup,
+                max_serve_ratio=args.max_serve_ratio,
             )
         )
     if problems:

@@ -45,6 +45,17 @@ Entry points (also usable as ``python -m repro.cli <command>``):
   merge the wall-clock plus deterministic ``build_*`` counters into a
   ``BENCH_build.json`` trajectory whose ``gate_build_speedup`` rows the
   regression script holds to ``--min-build-speedup``.
+* ``service submit|status|run-workers|cache`` — the crash-safe job service
+  (:mod:`repro.service`): submit a build request to the durable queue,
+  inspect job records (``status <job-id>`` exits nonzero with the stored
+  traceback for failed/quarantined jobs), drain the queue with supervised
+  workers, and audit the content-addressed artifact cache (``cache
+  --verify`` exits nonzero with the checksum digests on a corrupt
+  artifact).  See docs/SERVICE.md.
+* ``bench-service`` — run the service chaos bench (cold build with optional
+  injected worker death, bit-flip corruption → quarantine + rebuild, warm
+  resubmit, lease-expiry reclaim) and merge the recovery counters into a
+  ``BENCH_service.json`` trajectory gated by the same regression script.
 
 The ``bench-*`` subcommands share one option group
 (:func:`_add_bench_matrix_options`): ``--workloads`` preset selection,
@@ -59,6 +70,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable, Optional, Sequence
 
 from repro.core.distance_oracle import ORACLE_FACTORIES
@@ -83,6 +95,7 @@ _EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "E12": exp.experiment_verify_matrix,
     "E13": exp.experiment_fault_matrix,
     "E14": exp.experiment_build_matrix,
+    "E15": exp.experiment_service_matrix,
 }
 
 _QUICK_ARGUMENTS: dict[str, dict[str, object]] = {
@@ -100,6 +113,7 @@ _QUICK_ARGUMENTS: dict[str, dict[str, object]] = {
     "E12": {"n": 60},
     "E13": {"n": 60},
     "E14": {"n": 60, "workers": 2},
+    "E15": {"n": 60},
 }
 
 
@@ -613,6 +627,227 @@ def _command_bench_build(args: argparse.Namespace) -> int:
     return 0 if all_match else 1
 
 
+def _command_bench_service(args: argparse.Namespace) -> int:
+    from repro.experiments.overlay_bench import geometric_workload
+    from repro.experiments.service_bench import (
+        SERVICE_PRESETS,
+        merge_run_into_file,
+        render_rows,
+        run_flags,
+        run_service_bench,
+        service_workload,
+        workload_key,
+    )
+
+    rows: list[dict[str, object]] = []
+    if args.workloads:
+        requested = [key.strip() for key in args.workloads.split(",") if key.strip()]
+        if requested == ["all"]:
+            requested = list(SERVICE_PRESETS)
+        unknown_keys = [key for key in requested if key not in SERVICE_PRESETS]
+        if not requested or unknown_keys:
+            print(
+                f"unknown service workloads: {', '.join(unknown_keys) or '(none given)'}; "
+                "valid keys (or 'all'):"
+            )
+            for key in SERVICE_PRESETS:
+                print(f"  {key}")
+            return 2
+        rows = [SERVICE_PRESETS[key] for key in requested]
+    else:
+        rows.append(
+            service_workload(
+                geometric_workload(
+                    n=args.n, radius=args.radius, seed=args.seed, stretch=args.stretch
+                ),
+                kill_band=None if args.kill_band < 0 else args.kill_band,
+                build_workers=args.workers if args.workers else 2,
+            )
+        )
+
+    all_ok = True
+    for workload in rows:
+        run = run_service_bench(workload)
+        merge_run_into_file(args.output, run)
+        print(render_table(render_rows(run), title=f"service matrix: {workload_key(workload)}"))
+        print(f"served by tier: {run['tier']} (degraded: {run['degraded']})")
+        print(f"warm_serve_ratio: {run['warm_serve_ratio']:.4f}")
+        for name, value in sorted(run_flags(run).items()):
+            print(f"{name}: {value}")
+            all_ok = all_ok and bool(value)
+    print(f"trajectory written to {args.output}")
+    return 0 if all_ok else 1
+
+
+def _service_workload(args: argparse.Namespace) -> dict[str, object]:
+    """The workload dictionary of one ``service submit`` invocation."""
+    from repro.experiments.build_bench import bucketed_workload
+    from repro.experiments.oracle_bench import (
+        clustered_workload,
+        euclidean_workload,
+        graph_workload,
+        grid_workload,
+    )
+    from repro.experiments.overlay_bench import geometric_workload
+
+    if args.kind == "euclidean":
+        return euclidean_workload(n=args.n, dim=args.dim, seed=args.seed, stretch=args.stretch)
+    if args.kind == "clustered":
+        return clustered_workload(
+            n=args.n, dim=args.dim, clusters=args.clusters, seed=args.seed, stretch=args.stretch
+        )
+    if args.kind == "grid":
+        return grid_workload(side=args.side, dim=args.dim, stretch=args.stretch)
+    if args.kind == "graph":
+        return graph_workload(n=args.n, p=args.p, seed=args.seed, stretch=args.stretch)
+    if args.kind == "bucketed":
+        return bucketed_workload(n=args.n, degree=args.degree, seed=args.seed, stretch=args.stretch)
+    return geometric_workload(n=args.n, radius=args.radius, seed=args.seed, stretch=args.stretch)
+
+
+def _command_service_submit(args: argparse.Namespace) -> int:
+    from repro.service.degrade import DEFAULT_CHAIN
+    from repro.service.queue import JobQueue
+
+    chain = list(DEFAULT_CHAIN)
+    if args.chain is not None:
+        chain = [name.strip() for name in args.chain.split(",") if name.strip()]
+        valid_names = set(builder_names())
+        unknown = [name for name in chain if name not in valid_names]
+        if not chain or unknown:
+            print(
+                f"unknown chain builders: {', '.join(unknown) or '(none given)'}; "
+                f"valid names: {', '.join(sorted(valid_names))}"
+            )
+            return 2
+    spec: dict[str, object] = {
+        "workload": _service_workload(args),
+        "stretch": args.stretch,
+        "chain": chain,
+    }
+    if args.budget_seconds is not None:
+        spec["budget_seconds"] = args.budget_seconds
+    if args.measure_stretch:
+        spec["measure_stretch"] = True
+    queue = JobQueue(args.root)
+    job = queue.submit(
+        spec, max_attempts=args.max_attempts, lease_seconds=args.lease_seconds
+    )
+    print(f"submitted {job.job_id} ({job.state})")
+    return 0
+
+
+def _job_rows(jobs) -> list[dict[str, object]]:
+    rows = []
+    for job in jobs:
+        rows.append({
+            "job_id": job.job_id,
+            "state": job.state,
+            "attempts": f"{job.attempts}/{job.max_attempts}",
+            "worker": job.worker_id or "-",
+            "kind": str(job.spec.get("workload", {}).get("kind", "?")),
+            "tier": str((job.result or {}).get("tier", "-")),
+            "cache_hit": str((job.result or {}).get("cache_hit", "-")),
+        })
+    return rows
+
+
+def _command_service_status(args: argparse.Namespace) -> int:
+    from repro.errors import JobNotFoundError
+    from repro.service.queue import JobQueue
+
+    queue = JobQueue(args.root)
+    if args.job_id is None:
+        jobs = queue.list_jobs(state=args.state)
+        print(render_table(_job_rows(jobs), title=f"service jobs under {args.root}"))
+        bad = [job for job in jobs if job.state in ("failed", "quarantined")]
+        for job in bad:
+            print(f"\n{job.job_id} is {job.state}; last error:\n{job.error or '(no error recorded)'}")
+        return 1 if bad else 0
+    try:
+        job = queue.get(args.job_id)
+    except JobNotFoundError as error:
+        print(str(error))
+        return 2
+    print(render_table(_job_rows([job]), title=f"job {job.job_id}"))
+    for entry in job.history:
+        print(f"  {entry}")
+    if job.state in ("failed", "quarantined"):
+        # Error surfacing is the contract: the stored traceback IS the
+        # diagnosis, and a nonzero exit makes scripts notice.
+        print(f"\n{job.job_id} is {job.state}; stored error:\n{job.error or '(no error recorded)'}")
+        return 1
+    if job.result is not None:
+        print(f"result: {job.result}")
+    return 0
+
+
+def _command_service_run_workers(args: argparse.Namespace) -> int:
+    from repro.service.cache import ArtifactCache
+    from repro.service.queue import JobQueue
+    from repro.service.workers import ServiceWorker
+
+    queue = JobQueue(args.root)
+    cache = ArtifactCache(args.root / "cache")
+    workers = [
+        ServiceWorker(queue, cache, f"worker-{index}", verify=not args.no_verify)
+        for index in range(max(1, args.workers))
+    ]
+    # Round-robin so every worker identity takes claims from the shared
+    # queue — the lease law, not worker count, is what guards exclusivity.
+    processed = 0
+    while args.max_jobs is None or processed < args.max_jobs:
+        progressed = False
+        for worker in workers:
+            if args.max_jobs is not None and processed >= args.max_jobs:
+                break
+            if worker.run_once() is not None:
+                progressed = True
+                processed += 1
+        if not progressed:
+            break
+    totals: dict[str, int] = {}
+    for worker in workers:
+        for name, value in worker.counters.items():
+            totals[name] = totals.get(name, 0) + value
+    for name in sorted(totals):
+        print(f"{name}: {totals[name]}")
+    for name, value in sorted(queue.counters.items()):
+        print(f"queue_{name}: {value}")
+    for name, value in sorted(cache.counters.items()):
+        print(f"cache_{name}: {value}")
+    failed = queue.list_jobs(state="failed") + queue.list_jobs(state="quarantined")
+    for job in failed:
+        print(f"\n{job.job_id} is {job.state}; last error:\n{job.error or '(no error recorded)'}")
+    return 1 if failed else 0
+
+
+def _command_service_cache(args: argparse.Namespace) -> int:
+    from repro.service.cache import ArtifactCache
+
+    cache = ArtifactCache(args.root / "cache")
+    keys = cache.keys()
+    print(f"artifacts: {len(keys)}")
+    for key in keys:
+        print(f"  {key}")
+    quarantined = cache.quarantined()
+    if quarantined:
+        print(f"quarantined: {len(quarantined)}")
+        for name in quarantined:
+            print(f"  {name}")
+    if not args.verify:
+        return 0
+    report = cache.verify_all()
+    corrupt = {key: entry for key, entry in report.items() if not entry["ok"]}
+    for key, entry in corrupt.items():
+        print(
+            f"CORRUPT {key}: manifest sha256 {entry['expected']} != payload "
+            f"sha256 {entry['actual']} (quarantined)"
+        )
+    print(f"verified {len(report)} artifact(s); corrupt: {len(corrupt)}")
+    return 1 if corrupt else 0
+
+
 def _add_bench_matrix_options(
     parser: argparse.ArgumentParser,
     *,
@@ -987,6 +1222,162 @@ def build_parser() -> argparse.ArgumentParser:
         build_bench_parser, bench="build", output="BENCH_build.json", workers=True
     )
     build_bench_parser.set_defaults(handler=_command_bench_build)
+
+    service_bench_parser = subparsers.add_parser(
+        "bench-service",
+        help=(
+            "run the service chaos bench (worker death, artifact bit-flip, "
+            "warm cache, lease reclaim) and emit BENCH_service.json"
+        ),
+    )
+    service_bench_parser.add_argument(
+        "--n", type=int, default=300, help="geometric workload size (ad-hoc rows)"
+    )
+    service_bench_parser.add_argument(
+        "--radius", type=float, default=0.12, help="geometric connection radius"
+    )
+    service_bench_parser.add_argument("--seed", type=int, default=7)
+    service_bench_parser.add_argument("--stretch", type=float, default=1.5)
+    service_bench_parser.add_argument(
+        "--kill-band",
+        type=int,
+        default=1,
+        help=(
+            "SIGKILL the fork worker filtering this band of the cold build "
+            "(-1 disables the injection)"
+        ),
+    )
+    _add_bench_matrix_options(
+        service_bench_parser, bench="service", output="BENCH_service.json", workers=True
+    )
+    service_bench_parser.set_defaults(handler=_command_bench_service)
+
+    service_parser = subparsers.add_parser(
+        "service",
+        help="crash-safe spanner job service (durable queue + artifact cache)",
+    )
+    service_subparsers = service_parser.add_subparsers(
+        dest="service_command", required=True
+    )
+
+    def _add_root(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--root",
+            type=Path,
+            default=Path("service-root"),
+            help="service state directory (jobs/ and cache/ live under it)",
+        )
+
+    submit_parser = service_subparsers.add_parser(
+        "submit", help="append a build job to the durable queue"
+    )
+    _add_root(submit_parser)
+    submit_parser.add_argument(
+        "--kind",
+        choices=["geometric", "euclidean", "clustered", "grid", "graph", "bucketed"],
+        default="geometric",
+        help="workload family (same generators as the bench commands)",
+    )
+    submit_parser.add_argument("--n", type=int, default=300, help="points / vertices")
+    submit_parser.add_argument(
+        "--radius", type=float, default=0.12, help="connection radius (geometric only)"
+    )
+    submit_parser.add_argument(
+        "--dim", type=int, default=2, help="dimension (euclidean/clustered/grid)"
+    )
+    submit_parser.add_argument(
+        "--clusters", type=int, default=50, help="Gaussian clusters (clustered only)"
+    )
+    submit_parser.add_argument(
+        "--side", type=int, default=100, help="grid side length (grid only)"
+    )
+    submit_parser.add_argument(
+        "--p", type=float, default=0.15, help="edge probability (graph only)"
+    )
+    submit_parser.add_argument(
+        "--degree", type=float, default=96.0, help="average degree (bucketed only)"
+    )
+    submit_parser.add_argument("--seed", type=int, default=7)
+    submit_parser.add_argument("--stretch", type=float, default=1.5)
+    submit_parser.add_argument(
+        "--chain",
+        default=None,
+        help=(
+            "comma-separated degradation chain of registry builders "
+            "(default greedy-parallel,approx-greedy,theta,yao,mst)"
+        ),
+    )
+    submit_parser.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=None,
+        help="time budget; past it only the terminal fallback tier runs",
+    )
+    submit_parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="attempts before a job is quarantined as poison",
+    )
+    submit_parser.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=30.0,
+        help="claim lease; an expired lease means the worker died and the job is re-run",
+    )
+    submit_parser.add_argument("--measure-stretch", action="store_true")
+    submit_parser.set_defaults(handler=_command_service_submit)
+
+    status_parser = service_subparsers.add_parser(
+        "status",
+        help=(
+            "job table, or one job's record + history; exits nonzero with "
+            "the stored traceback for failed/quarantined jobs"
+        ),
+    )
+    _add_root(status_parser)
+    status_parser.add_argument(
+        "job_id", nargs="?", default=None, help="job id (omit for the full table)"
+    )
+    status_parser.add_argument(
+        "--state",
+        choices=["pending", "running", "done", "failed", "quarantined"],
+        default=None,
+        help="filter the table to one state",
+    )
+    status_parser.set_defaults(handler=_command_service_status)
+
+    run_parser = service_subparsers.add_parser(
+        "run-workers", help="drain the queue with supervised workers"
+    )
+    _add_root(run_parser)
+    run_parser.add_argument(
+        "--workers", type=int, default=1, help="worker identities to round-robin"
+    )
+    run_parser.add_argument(
+        "--max-jobs", type=int, default=None, help="stop after this many jobs"
+    )
+    run_parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the post-build stretch re-verification (not recommended)",
+    )
+    run_parser.set_defaults(handler=_command_service_run_workers)
+
+    cache_parser = service_subparsers.add_parser(
+        "cache",
+        help=(
+            "list artifacts; --verify audits every checksum and exits "
+            "nonzero (with digests) on corruption"
+        ),
+    )
+    _add_root(cache_parser)
+    cache_parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-hash every payload against its manifest (corrupt → quarantine)",
+    )
+    cache_parser.set_defaults(handler=_command_service_cache)
 
     return parser
 

@@ -44,6 +44,8 @@ runs inline on the identical code path.
 
 from __future__ import annotations
 
+import os
+import signal
 from heapq import heappop, heappush
 from itertools import chain
 from typing import Iterable, Optional
@@ -84,6 +86,14 @@ ShardResult = tuple[list[int], int, list[tuple[int, list[int]]]]
 # parent publishes a new block under a new name.
 _ATTACHED: Optional[tuple[str, CSRAdjacency]] = None
 _ATTACHED_LISTS: Optional[tuple[str, tuple[list[int], list[int], list[float]]]] = None
+
+#: Chaos hook for the worker-death regression tests: when set to a band
+#: index, a forked filter worker handed that band SIGKILLs itself before
+#: deciding its shard (fork workers inherit the parent's value at spawn
+#: time).  The parent process never runs :func:`_filter_shard`, so the
+#: inline re-filter path is immune by construction.  Never set in
+#: production code.
+_KILL_AT_BAND: Optional[int] = None
 
 
 def _attached_csr(descriptor: SharedCSRDescriptor) -> CSRAdjacency:
@@ -173,7 +183,11 @@ def _filter_groups(
 def _filter_shard(payload) -> ShardResult:
     """Worker entry point: attach the published snapshot, decide the shard."""
     global _ATTACHED_LISTS
-    frozen, shard, t, scalar_kernel = payload
+    frozen, shard, t, scalar_kernel, band_index = payload
+    if _KILL_AT_BAND is not None and band_index == _KILL_AT_BAND:
+        # Chaos injection: die exactly the way a OOM-killed or crashed
+        # worker would — no exception, no cleanup, the process just stops.
+        os.kill(os.getpid(), signal.SIGKILL)
     if isinstance(frozen, SharedCSRDescriptor):
         name = frozen.name
         frozen = _attached_csr(frozen)
@@ -193,6 +207,73 @@ def _filter_shard(payload) -> ShardResult:
 def _pack_pair(a: int, b: int) -> int:
     """Pack an unordered vertex-id pair into one int (the oracle's key trick)."""
     return (a << 32) | b if a < b else (b << 32) | a
+
+
+class WorkerDeathError(RuntimeError):
+    """A filter worker process died mid-band (SIGKILL, OOM kill, crash)."""
+
+
+class _SupervisedBandPool:
+    """A fork worker pool for the band filter that survives worker death.
+
+    ``multiprocessing.Pool.map`` silently hangs when a worker is killed
+    mid-task (the task's result never arrives and the pool keeps waiting),
+    so the fan-out runs on :class:`concurrent.futures.ProcessPoolExecutor`,
+    which detects terminated workers and fails all in-flight work with
+    ``BrokenProcessPool``.  This wrapper translates that into
+    :class:`WorkerDeathError`, retires the (permanently broken) executor and
+    lazily respawns a fresh one for the next band — so one dead worker costs
+    exactly one inline band re-filter, never the whole build.
+    """
+
+    def __init__(self, workers: int) -> None:
+        self.workers = workers
+        self._executor = None
+
+    def _ensure(self):
+        if self._executor is None:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            try:
+                # Start the shared-memory resource tracker BEFORE forking
+                # workers: they then inherit it, so their attach-side
+                # registrations dedup against the parent's instead of
+                # spawning per-worker trackers that race the parent's unlink
+                # at exit.
+                from multiprocessing import resource_tracker
+
+                resource_tracker.ensure_running()
+            except Exception:  # pragma: no cover - private API safety net
+                pass
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+        return self._executor
+
+    def map(self, fn, payloads: list) -> list:
+        """Run ``fn`` over ``payloads``; raises :class:`WorkerDeathError` if a
+        worker died, any other exception for ordinary task failures."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        executor = self._ensure()
+        try:
+            return list(executor.map(fn, payloads))
+        except BrokenProcessPool as exc:
+            self._retire(broken=True)
+            raise WorkerDeathError(str(exc)) from exc
+        except Exception:
+            self._retire(broken=True)
+            raise
+
+    def _retire(self, *, broken: bool) -> None:
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=not broken, cancel_futures=True)
+
+    def close(self) -> None:
+        self._retire(broken=False)
 
 
 def parallel_greedy_spanner(
@@ -258,21 +339,9 @@ def parallel_greedy_spanner(
     if band_edges is None:
         band_edges = max(1, -(-total_edges // max(1, bands)))
 
-    pool = None
+    pool: Optional[_SupervisedBandPool] = None
     if worker_count > 1 and fork_available():
-        import multiprocessing
-
-        try:
-            # Start the shared-memory resource tracker BEFORE forking the
-            # pool: forked workers then inherit it, so their attach-side
-            # registrations dedup against the parent's instead of spawning
-            # per-worker trackers that race the parent's unlink at exit.
-            from multiprocessing import resource_tracker
-
-            resource_tracker.ensure_running()
-        except Exception:  # pragma: no cover - private API safety net
-            pass
-        pool = multiprocessing.get_context("fork").Pool(processes=worker_count)
+        pool = _SupervisedBandPool(worker_count)
 
     examined = 0
     added = 0
@@ -283,6 +352,7 @@ def parallel_greedy_spanner(
     cache_hits = 0
     used_shared_memory = False
     pool_fallbacks = 0
+    worker_deaths = 0
     scalar_bands = 0
     #: Monotone coverage cache: packed unordered pairs (u, x) certified
     #: ``δ(u, x) ≤ r`` by some earlier ball or replay search of radius
@@ -323,8 +393,19 @@ def parallel_greedy_spanner(
                         payload_frozen = frozen  # pickled fallback, still exact
                     results = pool.map(
                         _filter_shard,
-                        [(payload_frozen, shard, t, scalar_kernel) for shard in shards],
+                        [
+                            (payload_frozen, shard, t, scalar_kernel, band_count - 1)
+                            for shard in shards
+                        ],
                     )
+                except WorkerDeathError:
+                    # A worker was killed mid-band (SIGKILL/OOM).  The band's
+                    # verdicts are a pure function of (frozen, groups, t), so
+                    # the orphaned band is simply re-filtered inline below —
+                    # identical candidates, identical counters — and the
+                    # supervisor respawns fresh workers for the next band.
+                    worker_deaths += 1
+                    results = None
                 except Exception:
                     pool_fallbacks += 1
                     results = None
@@ -365,7 +446,6 @@ def parallel_greedy_spanner(
     finally:
         if pool is not None:
             pool.close()
-            pool.join()
 
     metadata = {
         "distance_queries": float(examined),
@@ -381,6 +461,7 @@ def parallel_greedy_spanner(
         "build_workers": float(worker_count),
         "build_shared_memory": 1.0 if used_shared_memory else 0.0,
         "build_pool_fallbacks": float(pool_fallbacks),
+        "build_worker_deaths": float(worker_deaths),
     }
     return Spanner(
         base=graph,

@@ -158,3 +158,59 @@ class ShardFailureError(ExperimentError):
         )
         self.shard_index = shard_index
         self.shard_count = shard_count
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the crash-safe job service layer."""
+
+
+class JobNotFoundError(ServiceError, KeyError):
+    """A job id referenced by an operation is not present in the queue."""
+
+    def __init__(self, job_id: str) -> None:
+        super().__init__(f"job {job_id!r} is not in the queue")
+        self.job_id = job_id
+
+
+class JobStateError(ServiceError, ValueError):
+    """A job state transition that the lifecycle state machine forbids."""
+
+
+class StaleLeaseError(ServiceError):
+    """A worker acted on a job whose lease it no longer holds.
+
+    Raised when a worker heartbeats or completes a job that has been
+    re-claimed by another worker after its lease expired — the late writer
+    must abandon the job, never overwrite the new owner's progress.
+    """
+
+    def __init__(self, job_id: str, worker_id: str, owner: object) -> None:
+        super().__init__(
+            f"worker {worker_id!r} no longer holds the lease on job "
+            f"{job_id!r} (current owner: {owner!r})"
+        )
+        self.job_id = job_id
+        self.worker_id = worker_id
+        self.owner = owner
+
+
+class ArtifactIntegrityError(ServiceError):
+    """A cached artifact failed its checksum manifest on read.
+
+    The cache quarantines the corrupted artifact before raising, so the
+    caller's only correct move is to rebuild; the stored/actual digests are
+    kept for the CLI to surface.
+    """
+
+    def __init__(self, key: str, expected: str, actual: str) -> None:
+        super().__init__(
+            f"artifact {key} failed integrity verification: manifest sha256 "
+            f"{expected} != payload sha256 {actual} (quarantined)"
+        )
+        self.key = key
+        self.expected = expected
+        self.actual = actual
+
+
+class TimeBudgetExceededError(ServiceError):
+    """A job's time budget ran out before any fallback tier could serve it."""

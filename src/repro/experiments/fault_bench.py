@@ -33,6 +33,7 @@ import time
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.graph.io import atomic_write_json
 from repro.core.greedy import greedy_spanner
 from repro.distributed.faults import FaultPlan
 from repro.distributed.resilient import (
@@ -338,7 +339,7 @@ def merge_run_into_file(path: str | Path, run: dict[str, object]) -> dict[str, o
             "runs": {},
         }
     document.setdefault("runs", {})[workload_key(run["workload"])] = run
-    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    atomic_write_json(path, document)
     return document
 
 

@@ -36,6 +36,7 @@ import time
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.graph.io import atomic_write_json
 from repro.core.approximate_greedy import approximate_greedy_spanner
 from repro.core.greedy import greedy_spanner
 from repro.experiments.harness import traced_peak_memory
@@ -387,7 +388,7 @@ def merge_run_into_file(path: str | Path, run: dict[str, object]) -> dict[str, o
             "runs": {},
         }
     document.setdefault("runs", {})[workload_key(run["workload"])] = run
-    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    atomic_write_json(path, document)
     return document
 
 

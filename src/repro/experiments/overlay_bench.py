@@ -38,6 +38,7 @@ import time
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.graph.io import atomic_write_json
 from repro.distributed.broadcast import broadcast_over_overlay
 from repro.distributed.routing import RoutingScheme, evaluate_routing, random_demands
 from repro.distributed.synchronizer import synchronizer_cost
@@ -288,7 +289,7 @@ def merge_run_into_file(path: str | Path, run: dict[str, object]) -> dict[str, o
             "runs": {},
         }
     document.setdefault("runs", {})[workload_key(run["workload"])] = run
-    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    atomic_write_json(path, document)
     return document
 
 

@@ -1,0 +1,326 @@
+"""Service chaos benchmark: the recovery trajectory behind ``repro bench-service``.
+
+The :mod:`repro.service` layer claims to survive the failures a long-lived
+deployment actually sees — a SIGKILLed build worker, a bit-flipped cached
+artifact, a claim holder that dies without releasing its lease.  This bench
+*induces* each of those failures against a real queue + cache rooted in a
+temporary directory and records what the recovery machinery did:
+
+* **cold phase** — submit the workload's build job and drain it with a
+  supervised worker.  Rows with a ``kill_band`` inject a worker death into
+  the band-parallel greedy build (the fork worker SIGKILLs itself mid-band;
+  the PR-7 supervisor re-filters the orphaned band inline), so the cold
+  build itself is a recovery event, and the spanner is still re-verified
+  against the stretch bound before the artifact is committed;
+* **corrupt phase** — flip one byte of the committed payload, resubmit the
+  identical request, and require the checksum mismatch to quarantine the
+  artifact and force a rebuild whose canonical edge list is byte-identical
+  to the original (``rebuild_matches``) — a corrupted artifact is never
+  served (``never_served_corrupt``);
+* **warm phase** — resubmit once more and require a verified cache hit;
+  ``warm_serve_ratio`` (serve wall-clock over cold build wall-clock) is the
+  number the ``gate_serve_ratio`` rows hold below ``--max-serve-ratio``;
+* **reclaim phase** — claim a fourth copy of the job under a throwaway
+  worker id with a microscopic lease and walk away; the real worker must
+  reclaim the expired lease (``queue.lease_reclaims``) and finish the job.
+
+Every ``service_*`` counter in the record is a deterministic event count —
+jobs done, cache hits/misses, quarantines, reclaims, injected worker deaths
+— so ``scripts/check_bench_regression.py`` diffs them exactly like the
+other five trajectories; wall-clock only enters through the gated serve
+ratio, whose bar is generous (two orders of magnitude) precisely so CI
+noise cannot trip it.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.graph.io import atomic_write_json
+from repro.experiments.overlay_bench import (
+    workload_key as _overlay_workload_key,
+)
+from repro.experiments.build_bench import (
+    workload_key as _build_workload_key,
+)
+
+SCHEMA_VERSION = 1
+
+#: Deterministic recovery/event counters the regression checker compares
+#: (``service_``-prefixed so they can never collide with another
+#: trajectory's keys inside the shared checker).
+OPERATION_COUNT_KEYS = (
+    "service_jobs_done",
+    "service_jobs_failed",
+    "service_cache_hits",
+    "service_cache_misses",
+    "service_cache_puts",
+    "service_corrupt_quarantined",
+    "service_corrupt_rebuilds",
+    "service_lease_reclaims",
+    "service_poison_quarantined",
+    "service_worker_deaths",
+    "service_spanner_edges",
+)
+
+#: Workload keys that describe the chaos regime rather than the instance.
+_SERVICE_KEYS = ("kill_band", "build_workers", "gate_serve_ratio")
+
+
+def service_workload(
+    base: dict[str, object],
+    *,
+    kill_band: Optional[int] = None,
+    build_workers: int = 2,
+    gate_serve_ratio: bool = False,
+) -> dict[str, object]:
+    """Attach a chaos regime to a bench workload description.
+
+    ``kill_band`` injects a SIGKILL into that band of the parallel greedy
+    build (``None`` = no injection); ``gate_serve_ratio`` marks rows whose
+    committed ``warm_serve_ratio`` the regression checker holds below
+    ``--max-serve-ratio``.
+    """
+    workload = dict(base)
+    if kill_band is not None:
+        workload["kill_band"] = int(kill_band)
+    workload["build_workers"] = int(build_workers)
+    if gate_serve_ratio:
+        workload["gate_serve_ratio"] = True
+    return workload
+
+
+def _without_service(workload: dict[str, object]) -> dict[str, object]:
+    return {key: value for key, value in workload.items() if key not in _SERVICE_KEYS}
+
+
+def workload_key(workload: dict[str, object]) -> str:
+    """Stable run key: the base workload key plus the chaos-regime suffix."""
+    base = _without_service(workload)
+    if base.get("kind") == "bucketed-geometric":
+        base_key = _build_workload_key(base)
+    else:
+        base_key = _overlay_workload_key(base)
+    suffix = "k{}-w{}".format(
+        workload.get("kill_band", "none"), int(workload.get("build_workers", 2))
+    )
+    return f"{base_key}-{suffix}"
+
+
+def _build_presets() -> dict[str, dict[str, object]]:
+    """The named rows of the service matrix.
+
+    The CI row is small and injects a worker death into band 1 of the cold
+    build (the full chaos sequence on every run); the scale row is the
+    gated serving-latency evidence — same ``n = 10⁴`` geometric instance as
+    the fault trajectory's acceptance row, where a warm hit must serve in
+    under 1% of the cold build.
+    """
+    from repro.experiments.overlay_bench import geometric_workload
+
+    rows = (
+        service_workload(
+            geometric_workload(n=300, radius=0.12, seed=7, stretch=1.5),
+            kill_band=1,
+            build_workers=2,
+        ),
+        service_workload(
+            geometric_workload(n=10000, radius=0.025, seed=7, stretch=1.2),
+            kill_band=1,
+            build_workers=2,
+            gate_serve_ratio=True,
+        ),
+    )
+    return {workload_key(workload): workload for workload in rows}
+
+
+#: workload key -> workload (the chaos regime is part of the workload).
+SERVICE_PRESETS = _build_presets()
+
+
+def run_service_bench(
+    workload: dict[str, object],
+    *,
+    root: Optional[Path] = None,
+    budget_seconds: Optional[float] = None,
+) -> dict[str, object]:
+    """Run the four chaos phases against a real service root.
+
+    ``root`` defaults to a throwaway temporary directory (removed
+    afterwards); pass a path to keep the queue/cache state for inspection.
+    The record mirrors the other bench shapes (``"strategies"`` keyed by
+    the single ``"service"`` row) so
+    :func:`scripts.check_bench_regression.find_regressions` gates all six
+    trajectories with the same code.
+    """
+    import repro.core.parallel_greedy as parallel_greedy_module
+    from repro.service.cache import ArtifactCache, artifact_key
+    from repro.service.queue import JobQueue
+    from repro.service.workers import ServiceWorker
+
+    keep_root = root is not None
+    root = Path(root) if root is not None else Path(tempfile.mkdtemp(prefix="svc-bench-"))
+    kill_band = workload.get("kill_band")
+    spec: dict[str, object] = {
+        "workload": _without_service(workload),
+        "stretch": float(workload["stretch"]),
+        "chain": ["greedy-parallel", "approx-greedy", "theta", "yao", "mst"],
+        "params": {
+            "greedy-parallel": {
+                "workers": int(workload.get("build_workers", 2)),
+            }
+        },
+    }
+    if budget_seconds is not None:
+        spec["budget_seconds"] = float(budget_seconds)
+    key = artifact_key(
+        spec["workload"], spec["chain"], spec["stretch"], spec["params"]
+    )
+
+    queue = JobQueue(root)
+    cache = ArtifactCache(root / "cache")
+    worker = ServiceWorker(queue, cache, "bench-worker")
+    saved_kill = parallel_greedy_module._KILL_AT_BAND
+    try:
+        # Phase 1 — cold build, with the injected worker death if requested.
+        if kill_band is not None:
+            parallel_greedy_module._KILL_AT_BAND = int(kill_band)
+        try:
+            cold_job = queue.submit(spec)
+            start = time.perf_counter()
+            worker.run(max_jobs=1)
+            cold_seconds = time.perf_counter() - start
+        finally:
+            parallel_greedy_module._KILL_AT_BAND = saved_kill
+        cold_job = queue.get(cold_job.job_id)
+        cold_result = cold_job.result or {}
+        original = json.loads(cache.payload_path(key).read_text(encoding="utf-8"))
+        worker_deaths = float(original.get("metadata", {}).get("build_worker_deaths", 0.0))
+
+        # Phase 2 — flip one payload byte, resubmit, require quarantine +
+        # byte-identical rebuild.
+        payload_path = cache.payload_path(key)
+        data = bytearray(payload_path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        payload_path.write_bytes(bytes(data))
+        corrupt_job = queue.submit(spec)
+        worker.run(max_jobs=1)
+        corrupt_job = queue.get(corrupt_job.job_id)
+        corrupt_result = corrupt_job.result or {}
+        rebuilt = json.loads(cache.payload_path(key).read_text(encoding="utf-8"))
+        rebuild_matches = rebuilt.get("edges") == original.get("edges")
+        never_served_corrupt = (
+            corrupt_job.state == "done"
+            and not corrupt_result.get("cache_hit", True)
+            and corrupt_result.get("rebuilt_after_corruption", False)
+            and cache.counters["corrupt_quarantined"] >= 1
+        )
+
+        # Phase 3 — warm resubmit must be a verified cache hit.
+        warm_job = queue.submit(spec)
+        start = time.perf_counter()
+        worker.run(max_jobs=1)
+        warm_seconds = time.perf_counter() - start
+        warm_job = queue.get(warm_job.job_id)
+        warm_result = warm_job.result or {}
+        warm_hit = warm_job.state == "done" and bool(warm_result.get("cache_hit"))
+
+        # Phase 4 — a throwaway worker claims with a microscopic lease and
+        # disappears; the real worker must reclaim and finish the job.
+        reclaim_job = queue.submit(spec, lease_seconds=1e-9)
+        queue.claim("dead-worker")
+        worker.run(max_jobs=1)
+        reclaim_job = queue.get(reclaim_job.job_id)
+        reclaim_completed = (
+            reclaim_job.state == "done" and queue.counters["lease_reclaims"] >= 1
+        )
+    finally:
+        if not keep_root:
+            shutil.rmtree(root, ignore_errors=True)
+
+    record: dict[str, float] = {
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "service_jobs_done": float(worker.counters["jobs_done"]),
+        "service_jobs_failed": float(worker.counters["jobs_failed"]),
+        "service_cache_hits": float(cache.counters["hits"]),
+        "service_cache_misses": float(cache.counters["misses"]),
+        "service_cache_puts": float(cache.counters["puts"]),
+        "service_corrupt_quarantined": float(cache.counters["corrupt_quarantined"]),
+        "service_corrupt_rebuilds": float(worker.counters["corrupt_rebuilds"]),
+        "service_lease_reclaims": float(queue.counters["lease_reclaims"]),
+        "service_poison_quarantined": float(queue.counters["quarantined"]),
+        "service_worker_deaths": worker_deaths,
+        "service_spanner_edges": float(cold_result.get("spanner_edges", 0)),
+    }
+    result: dict[str, object] = {
+        "workload": dict(workload),
+        "strategies": {"service": record},
+        "tier": cold_result.get("tier"),
+        "degraded": bool(cold_result.get("degraded", False)),
+        "warm_serve_ratio": warm_seconds / cold_seconds if cold_seconds > 0 else 0.0,
+        "service_verified": cold_result.get("verified") is True,
+        "rebuild_matches": bool(rebuild_matches),
+        "never_served_corrupt": bool(never_served_corrupt),
+        "warm_cache_hit": bool(warm_hit),
+        "reclaim_completed": bool(reclaim_completed),
+    }
+    if kill_band is not None:
+        result["chaos_recovered"] = worker_deaths >= 1.0
+    if workload.get("gate_serve_ratio"):
+        result["gate_serve_ratio"] = True
+    return result
+
+
+def run_flags(run: dict[str, object]) -> dict[str, bool]:
+    """The pass/fail flags of one run (the gate and the CLI both read these)."""
+    flags = {
+        "service_verified": bool(run.get("service_verified", False)),
+        "rebuild_matches": bool(run.get("rebuild_matches", False)),
+        "never_served_corrupt": bool(run.get("never_served_corrupt", False)),
+        "warm_cache_hit": bool(run.get("warm_cache_hit", False)),
+        "reclaim_completed": bool(run.get("reclaim_completed", False)),
+    }
+    if "chaos_recovered" in run:
+        flags["chaos_recovered"] = bool(run["chaos_recovered"])
+    return flags
+
+
+def merge_run_into_file(path: str | Path, run: dict[str, object]) -> dict[str, object]:
+    """Merge ``run`` into the service trajectory at ``path`` (created if missing).
+
+    One entry per workload key under ``"runs"``, latest run wins — the same
+    contract as the other five trajectory files.
+    """
+    path = Path(path)
+    if path.exists():
+        document = json.loads(path.read_text())
+    else:
+        document = {
+            "schema": SCHEMA_VERSION,
+            "description": (
+                "Service chaos benchmark trajectory (injected worker death, "
+                "artifact bit-flip quarantine + byte-identical rebuild, warm "
+                "cache serving, lease-expiry reclaim); see docs/SERVICE.md. "
+                "Regenerate with `repro bench-service`."
+            ),
+            "runs": {},
+        }
+    document.setdefault("runs", {})[workload_key(run["workload"])] = run
+    atomic_write_json(path, document)
+    return document
+
+
+def render_rows(run: dict[str, object]) -> list[dict[str, object]]:
+    """Flatten a run record into report-table rows (one per strategy)."""
+    rows = []
+    for name, record in run["strategies"].items():
+        row: dict[str, object] = {"phase_set": name}
+        row.update(record)
+        rows.append(row)
+    return rows

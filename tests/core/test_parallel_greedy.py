@@ -129,3 +129,53 @@ class TestRegistryBuilder:
         reference = build_spanner("greedy", geometric_instance, 2.0)
         parallel = build_spanner("greedy-parallel", geometric_instance, 2.0, workers=2)
         assert canonical_edges(parallel) == canonical_edges(reference)
+
+
+@pytest.mark.skipif(not fork_available(), reason="fork start method required")
+class TestWorkerDeathRecovery:
+    """A fork worker SIGKILLed mid-band must not fail (or hang) the build.
+
+    The supervisor detects the death (``BrokenProcessPool`` under the
+    hood), re-filters the orphaned band inline — same verdicts, same
+    counters — and respawns fresh workers for the following bands, so the
+    spanner is byte-identical to an unfailed run.  ``REPRO_CHAOS=1`` (the
+    CI chaos smoke job) widens the injection to several bands.
+    """
+
+    def _kill_bands(self):
+        import os
+
+        if os.environ.get("REPRO_CHAOS"):
+            return [0, 1, 3]
+        return [1]
+
+    def test_sigkill_mid_band_yields_byte_identical_spanner(
+        self, geometric_instance, serial_spanner, monkeypatch
+    ):
+        from repro.core import parallel_greedy as pg
+
+        clean = parallel_greedy_spanner(
+            geometric_instance, 2.0, workers=2, bands=6
+        )
+        for band in self._kill_bands():
+            monkeypatch.setattr(pg, "_KILL_AT_BAND", band)
+            survived = parallel_greedy_spanner(
+                geometric_instance, 2.0, workers=2, bands=6
+            )
+            monkeypatch.setattr(pg, "_KILL_AT_BAND", None)
+            assert survived.metadata["build_worker_deaths"] >= 1.0
+            assert canonical_edges(survived) == canonical_edges(serial_spanner)
+            # The inline re-filter reproduces the dead workers' verdicts
+            # exactly: every deterministic counter matches the clean run.
+            for key in (
+                "build_filter_settles",
+                "build_replay_settles",
+                "build_candidate_edges",
+                "build_cache_hits",
+                "edges_added",
+            ):
+                assert survived.metadata[key] == clean.metadata[key]
+
+    def test_clean_runs_record_zero_worker_deaths(self, geometric_instance):
+        spanner = parallel_greedy_spanner(geometric_instance, 2.0, workers=2, bands=4)
+        assert spanner.metadata["build_worker_deaths"] == 0.0

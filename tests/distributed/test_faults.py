@@ -191,3 +191,63 @@ class TestFaultPlan:
         assert result.statistics.data_sends == 4
         assert result.statistics.give_ups == 1
         assert result.statistics.messages_lost == 4
+
+
+class TestHashSeedIndependence:
+    """The fault schedule must not depend on the interpreter's hash seed.
+
+    ``PYTHONHASHSEED`` perturbs ``hash(str)`` and set/dict iteration order
+    between interpreter runs; a FaultPlan (and the flood it drives) must
+    come out byte-identical anyway — its coins are stable hashes, not
+    ``hash()``.  A subprocess per seed is the only honest way to vary it.
+    """
+
+    SCRIPT = r"""
+import hashlib, json, sys
+from repro.core.greedy import greedy_spanner
+from repro.distributed.faults import FaultPlan
+from repro.distributed.resilient import resilient_flood
+from repro.graph.generators import random_geometric_graph
+
+graph = random_geometric_graph(60, 0.3, seed=7)
+overlay = greedy_spanner(graph, 1.5).subgraph
+source = min(overlay.vertices(), key=repr)
+plan = FaultPlan.sample(
+    overlay, seed=11, edge_failure_rate=0.05, failure_band=0.5,
+    node_crash_rate=0.05, drop_rate=0.1, delay_jitter=0.25,
+    protect=(source,),
+)
+flood = resilient_flood(overlay, source, plan, mode="indexed")
+canonical = json.dumps({
+    "describe": plan.describe(),
+    "failed": sorted(repr(e) for e in plan.failed_edges()),
+    "stats": sorted(flood.statistics.as_row().items()),
+    "delivery": sorted((repr(v), t) for v, t in flood.delivery_time.items()),
+    "parents": sorted((repr(v), repr(p)) for v, p in flood.parent.items()),
+}, sort_keys=True)
+print(hashlib.sha256(canonical.encode()).hexdigest())
+"""
+
+    def test_fault_plan_and_flood_are_hash_seed_invariant(self):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        src = Path(__file__).resolve().parents[2] / "src"
+        digests = set()
+        for hash_seed in ("0", "1", "31337"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hash_seed
+            env["PYTHONPATH"] = str(src)
+            output = subprocess.run(
+                [sys.executable, "-c", self.SCRIPT],
+                env=env,
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.strip()
+            digests.add(output)
+        assert len(digests) == 1, (
+            "FaultPlan or flood replay diverged across PYTHONHASHSEED values"
+        )

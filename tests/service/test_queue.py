@@ -1,0 +1,183 @@
+"""Lease/heartbeat and quarantine laws of the durable job queue.
+
+Every test drives :class:`repro.service.queue.JobQueue` with an injected
+fake clock — lease expiry is a statement about timestamps, not about how
+long pytest slept.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.errors import JobNotFoundError, JobStateError, StaleLeaseError
+from repro.service.queue import DEFAULT_MAX_ATTEMPTS, Job, JobQueue
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def queue(tmp_path, clock):
+    return JobQueue(tmp_path, clock=clock)
+
+
+SPEC = {"workload": {"kind": "geometric", "n": 10}, "stretch": 1.5}
+
+
+def test_submit_persists_a_pending_record(queue, tmp_path):
+    job = queue.submit(SPEC)
+    assert job.state == "pending"
+    on_disk = json.loads((tmp_path / "jobs" / f"{job.job_id}.json").read_text())
+    assert on_disk["state"] == "pending"
+    assert on_disk["spec"] == SPEC
+    assert on_disk["attempts"] == 0
+
+
+def test_resubmitting_the_same_spec_yields_a_new_job(queue):
+    first = queue.submit(SPEC)
+    second = queue.submit(SPEC)
+    assert first.job_id != second.job_id
+    assert first.job_id.rsplit("-", 1)[0] == second.job_id.rsplit("-", 1)[0]
+
+
+def test_claim_is_exclusive(queue):
+    job = queue.submit(SPEC)
+    claimed = queue.claim("worker-a")
+    assert claimed is not None and claimed.job_id == job.job_id
+    assert claimed.state == "running"
+    assert claimed.attempts == 1
+    # The lease is live, so a second claimer finds nothing.
+    assert queue.claim("worker-b") is None
+
+
+def test_complete_transitions_to_done(queue):
+    job = queue.submit(SPEC)
+    queue.claim("worker-a")
+    done = queue.complete(job.job_id, "worker-a", {"tier": "mst"})
+    assert done.state == "done"
+    assert done.result == {"tier": "mst"}
+    assert done.worker_id is None
+    # Terminal states are terminal.
+    with pytest.raises(StaleLeaseError):
+        queue.complete(job.job_id, "worker-a", {})
+
+
+def test_fail_retries_until_the_attempt_cap_then_quarantines(queue):
+    job = queue.submit(SPEC, max_attempts=2)
+    queue.claim("worker-a")
+    failed = queue.fail(job.job_id, "worker-a", "Traceback: boom 1")
+    assert failed.state == "pending"
+    assert failed.error == "Traceback: boom 1"
+    queue.claim("worker-a")
+    quarantined = queue.fail(job.job_id, "worker-a", "Traceback: boom 2")
+    assert quarantined.state == "quarantined"
+    assert quarantined.error == "Traceback: boom 2"
+    assert queue.counters["quarantined"] == 1
+    assert queue.claim("worker-a") is None
+
+
+def test_expired_lease_is_reclaimed_with_attempt_bump(queue, clock):
+    job = queue.submit(SPEC, lease_seconds=30.0)
+    queue.claim("worker-a")
+    clock.advance(10.0)
+    assert queue.claim("worker-b") is None  # lease still live
+    clock.advance(25.0)
+    reclaimed = queue.claim("worker-b")
+    assert reclaimed is not None and reclaimed.job_id == job.job_id
+    assert reclaimed.worker_id == "worker-b"
+    assert reclaimed.attempts == 2
+    assert queue.counters["lease_reclaims"] == 1
+
+
+def test_heartbeat_extends_the_lease(queue, clock):
+    queue.submit(SPEC, lease_seconds=30.0)
+    job = queue.claim("worker-a")
+    clock.advance(25.0)
+    queue.beat(job.job_id, "worker-a")
+    clock.advance(25.0)
+    # 50s since claim but only 25s since the beat: still owned.
+    assert queue.claim("worker-b") is None
+
+
+def test_losing_the_lease_makes_the_old_owner_stale(queue, clock):
+    queue.submit(SPEC, lease_seconds=30.0)
+    job = queue.claim("worker-a")
+    clock.advance(31.0)
+    queue.claim("worker-b")
+    with pytest.raises(StaleLeaseError):
+        queue.beat(job.job_id, "worker-a")
+    with pytest.raises(StaleLeaseError):
+        queue.complete(job.job_id, "worker-a", {})
+
+
+def test_repeated_silent_worker_death_quarantines_the_poison_job(queue, clock):
+    job = queue.submit(SPEC, lease_seconds=1.0)
+    for attempt in range(DEFAULT_MAX_ATTEMPTS):
+        claimed = queue.claim(f"worker-{attempt}")
+        assert claimed is not None
+        clock.advance(2.0)  # the worker dies without a word every time
+    assert queue.claim("worker-last") is None
+    record = queue.get(job.job_id)
+    assert record.state == "quarantined"
+    assert "worker death suspected" in (record.error or "")
+    assert queue.counters["quarantined"] == 1
+    assert queue.counters["lease_reclaims"] == DEFAULT_MAX_ATTEMPTS - 1
+
+
+def test_orphaned_claim_file_is_recovered(queue, tmp_path):
+    job = queue.submit(SPEC)
+    path = tmp_path / "jobs" / f"{job.job_id}.json"
+    # Simulate a claimer that crashed between rename and restore.
+    os.rename(path, path.with_name(path.name + ".claim-crashed"))
+    assert not path.exists()
+    claimed = queue.claim("worker-a")
+    assert claimed is not None and claimed.job_id == job.job_id
+    assert path.exists()
+    assert not list((tmp_path / "jobs").glob("*.claim-*"))
+
+
+def test_get_unknown_job_raises(queue):
+    with pytest.raises(JobNotFoundError):
+        queue.get("job-missing-0000")
+
+
+def test_illegal_transition_raises(queue, clock):
+    job = queue.submit(SPEC)
+    record = queue.get(job.job_id)
+    with pytest.raises(JobStateError):
+        queue._transition(record, "done", "cannot skip running")
+
+
+def test_list_jobs_filters_by_state(queue):
+    first = queue.submit(SPEC)
+    queue.submit(SPEC)
+    queue.claim("worker-a")
+    assert [j.job_id for j in queue.list_jobs(state="running")] == [first.job_id]
+    assert len(queue.list_jobs()) == 2
+
+
+def test_records_survive_reopening_the_queue(queue, tmp_path, clock):
+    job = queue.submit(SPEC)
+    queue.claim("worker-a")
+    queue.complete(job.job_id, "worker-a", {"tier": "mst"})
+    reopened = JobQueue(tmp_path, clock=clock)
+    record = reopened.get(job.job_id)
+    assert record.state == "done"
+    assert record.result == {"tier": "mst"}
+    assert isinstance(record, Job)

@@ -1,0 +1,179 @@
+"""End-to-end laws of the supervised worker loop.
+
+The headline tests are the chaos ones: a worker process SIGKILLed after
+claiming (its expired lease must be reclaimed and the job still completes),
+and a bit-flipped artifact that must be quarantined and rebuilt
+byte-identical — never served.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+
+import pytest
+
+from repro.experiments.harness import fork_available
+from repro.service.cache import ArtifactCache, artifact_key
+from repro.service.queue import JobQueue
+from repro.service.workers import ServiceWorker, build_workload_instance, run_service
+
+SPEC = {
+    "workload": {"kind": "geometric", "n": 80, "radius": 0.25, "seed": 3, "stretch": 1.5},
+    "stretch": 1.5,
+}
+
+
+def spec_key(spec=SPEC) -> str:
+    return artifact_key(
+        spec["workload"],
+        tuple(spec.get("chain") or ("greedy-parallel", "approx-greedy", "theta", "yao", "mst")),
+        spec["stretch"],
+        spec.get("params") or {},
+    )
+
+
+@pytest.fixture()
+def service(tmp_path):
+    queue = JobQueue(tmp_path)
+    cache = ArtifactCache(tmp_path / "cache")
+    return queue, cache, ServiceWorker(queue, cache, "worker-test")
+
+
+def test_build_workload_instance_dispatches_all_kinds():
+    geometric = build_workload_instance(SPEC["workload"])
+    assert geometric.number_of_vertices == 80
+    bucketed = build_workload_instance(
+        {"kind": "bucketed-geometric", "n": 64, "degree": 8.0, "seed": 3, "stretch": 2.0}
+    )
+    assert bucketed.number_of_vertices == 64
+    metric = build_workload_instance(
+        {"kind": "uniform-euclidean", "n": 16, "dim": 2, "seed": 3, "stretch": 2.0}
+    )
+    from repro.metric.closure import MetricClosure
+
+    assert isinstance(metric, MetricClosure)
+
+
+def test_cold_build_completes_verified_and_cached(service):
+    queue, cache, worker = service
+    job = queue.submit(SPEC)
+    assert worker.run(max_jobs=5) == dict(worker.counters)
+    record = queue.get(job.job_id)
+    assert record.state == "done"
+    assert record.result["tier"] == "greedy-parallel"
+    assert record.result["cache_hit"] is False
+    assert record.result["verified"] is True
+    assert cache.get(spec_key()) is not None
+    assert worker.counters["jobs_done"] == 1
+
+
+def test_warm_resubmit_serves_from_cache(service):
+    queue, cache, worker = service
+    queue.submit(SPEC)
+    worker.run()
+    warm = queue.submit(SPEC)
+    worker.run()
+    record = queue.get(warm.job_id)
+    assert record.state == "done"
+    assert record.result["cache_hit"] is True
+    assert worker.counters["cache_hits"] == 1
+    # A cache hit never rebuilds: exactly one put ever happened.
+    assert cache.counters["puts"] == 1
+
+
+def test_bit_flip_forces_quarantine_and_byte_identical_rebuild(service):
+    queue, cache, worker = service
+    queue.submit(SPEC)
+    worker.run()
+    original = json.loads(cache.payload_path(spec_key()).read_text())
+
+    payload_path = cache.payload_path(spec_key())
+    data = bytearray(payload_path.read_bytes())
+    data[len(data) // 2] ^= 0xFF
+    payload_path.write_bytes(bytes(data))
+
+    job = queue.submit(SPEC)
+    worker.run()
+    record = queue.get(job.job_id)
+    assert record.state == "done"
+    assert record.result["cache_hit"] is False
+    assert record.result["rebuilt_after_corruption"] is True
+    assert worker.counters["corrupt_rebuilds"] == 1
+    assert cache.counters["corrupt_quarantined"] == 1
+    assert cache.quarantined(), "the corrupted copy must be fenced, not deleted"
+    # Deterministic construction: the rebuild is byte-identical.
+    rebuilt = json.loads(cache.payload_path(spec_key()).read_text())
+    assert rebuilt["edges"] == original["edges"]
+    assert rebuilt["verified"] is True
+
+
+def test_failing_job_stores_the_traceback_and_quarantines(service):
+    queue, _, worker = service
+    bad = dict(SPEC)
+    bad["chain"] = ["theta"]  # unsupported for a graph workload
+    job = queue.submit(bad, max_attempts=2)
+    worker.run()
+    record = queue.get(job.job_id)
+    assert record.state == "quarantined"
+    assert "TimeBudgetExceededError" in (record.error or "")
+    assert worker.counters["jobs_failed"] == 2
+    assert queue.counters["quarantined"] == 1
+
+
+def test_budgeted_job_degrades_but_completes(service):
+    queue, _, worker = service
+    spec = dict(SPEC)
+    spec["budget_seconds"] = 0.0
+    job = queue.submit(spec)
+    worker.run()
+    record = queue.get(job.job_id)
+    assert record.state == "done"
+    assert record.result["tier"] == "mst"
+    assert record.result["degraded"] is True
+    assert worker.counters["degraded_serves"] == 1
+
+
+def _claim_and_die(root: str) -> None:
+    queue = JobQueue(root)
+    claimed = queue.claim("doomed-worker")
+    assert claimed is not None
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+@pytest.mark.skipif(not fork_available(), reason="fork start method required")
+def test_sigkilled_claimers_job_is_reclaimed_and_completed(tmp_path):
+    """A worker SIGKILLed after claiming leaves only an expired lease; the
+    next worker reclaims it and the job still completes."""
+    queue = JobQueue(tmp_path)
+    job = queue.submit(SPEC, lease_seconds=1e-9)
+
+    context = multiprocessing.get_context("fork")
+    process = context.Process(target=_claim_and_die, args=(str(tmp_path),))
+    process.start()
+    process.join(timeout=30)
+    assert process.exitcode == -signal.SIGKILL
+
+    stranded = queue.get(job.job_id)
+    assert stranded.state == "running"
+    assert stranded.worker_id == "doomed-worker"
+
+    summary = run_service(tmp_path, worker_id="survivor")
+    record = queue.get(job.job_id)
+    assert record.state == "done"
+    assert record.result["tier"] == "greedy-parallel"
+    assert record.attempts == 2
+    assert summary["queue_lease_reclaims"] == 1
+    assert summary["worker_jobs_done"] == 1
+
+
+def test_run_service_summary_merges_all_counters(tmp_path):
+    queue = JobQueue(tmp_path)
+    queue.submit(SPEC)
+    summary = run_service(tmp_path)
+    assert summary["worker_jobs_done"] == 1
+    assert summary["worker_cache_misses"] == 1
+    assert summary["cache_puts"] == 1
+    assert summary["queue_quarantined"] == 0

@@ -310,3 +310,95 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "[E14]" in output
         assert "builds_match=True" in output
+
+
+class TestServiceCommands:
+    SUBMIT = [
+        "service", "submit", "--kind", "geometric",
+        "--n", "80", "--radius", "0.25", "--seed", "3", "--stretch", "1.5",
+    ]
+
+    def _root(self, tmp_path):
+        return ["--root", str(tmp_path / "svc")]
+
+    def test_submit_run_status_cache_happy_path(self, capsys, tmp_path):
+        root = self._root(tmp_path)
+        assert main(self.SUBMIT + root) == 0
+        assert "submitted job-" in capsys.readouterr().out
+        assert main(["service", "run-workers"] + root) == 0
+        output = capsys.readouterr().out
+        assert "jobs_done: 1" in output
+        assert "cache_puts: 1" in output
+        assert main(["service", "status"] + root) == 0
+        output = capsys.readouterr().out
+        assert "done" in output
+        assert "greedy-parallel" in output
+        assert main(["service", "cache", "--verify"] + root) == 0
+        output = capsys.readouterr().out
+        assert "artifacts: 1" in output
+        assert "corrupt: 0" in output
+
+    def test_warm_resubmit_is_a_cache_hit(self, capsys, tmp_path):
+        root = self._root(tmp_path)
+        assert main(self.SUBMIT + root) == 0
+        assert main(["service", "run-workers"] + root) == 0
+        assert main(self.SUBMIT + root) == 0
+        capsys.readouterr()
+        assert main(["service", "run-workers"] + root) == 0
+        assert "cache_hits: 1" in capsys.readouterr().out
+
+    def test_failed_job_surfaces_traceback_and_exits_nonzero(self, capsys, tmp_path):
+        root = self._root(tmp_path)
+        # theta cannot serve a graph workload: the chain has no viable tier.
+        assert main(self.SUBMIT + root + ["--chain", "theta", "--max-attempts", "1"]) == 0
+        job_id = capsys.readouterr().out.split()[1]
+        assert main(["service", "run-workers"] + root) == 1
+        assert "TimeBudgetExceededError" in capsys.readouterr().out
+        assert main(["service", "status", job_id] + root) == 1
+        output = capsys.readouterr().out
+        assert "quarantined" in output
+        assert "Traceback" in output
+        # The full table also flags it.
+        assert main(["service", "status"] + root) == 1
+
+    def test_corrupt_cache_verify_exits_nonzero_with_digests(self, capsys, tmp_path):
+        root = self._root(tmp_path)
+        assert main(self.SUBMIT + root) == 0
+        assert main(["service", "run-workers"] + root) == 0
+        payload = next((tmp_path / "svc" / "cache" / "objects").glob("*/*/payload.json"))
+        payload.write_bytes(b"corrupted")
+        capsys.readouterr()
+        assert main(["service", "cache", "--verify"] + root) == 1
+        output = capsys.readouterr().out
+        assert "CORRUPT" in output
+        assert "sha256" in output
+        assert "quarantined" in output
+
+    def test_submit_rejects_unknown_chain_builder(self, capsys, tmp_path):
+        assert main(self.SUBMIT + self._root(tmp_path) + ["--chain", "nope"]) == 2
+        assert "unknown chain builders" in capsys.readouterr().out
+
+    def test_status_unknown_job_exits_2(self, capsys, tmp_path):
+        assert main(["service", "status", "job-zzz-0000"] + self._root(tmp_path)) == 2
+        assert "not in the queue" in capsys.readouterr().out
+
+    def test_bench_service_writes_trajectory(self, capsys, tmp_path):
+        output_path = tmp_path / "BENCH_service.json"
+        assert main([
+            "bench-service", "--n", "80", "--radius", "0.25",
+            "--kill-band", "-1", "--output", str(output_path),
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "service matrix" in output
+        assert "warm_cache_hit: True" in output
+        assert "rebuild_matches: True" in output
+        import json as _json
+
+        document = _json.loads(output_path.read_text())
+        assert len(document["runs"]) == 1
+
+    def test_experiment_e15_quick(self, capsys):
+        assert main(["experiment", "E15", "--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "[E15]" in output
+        assert "service_lease_reclaims" in output
