@@ -44,6 +44,15 @@ pass ``--fresh-build`` / ``--baseline-build`` to gate it.  Runs marked
 band-parallel path — of at least ``--min-build-speedup`` (default 3×),
 checked in both documents like the repair gate.
 
+The query-throughput benchmark (``repro bench-queries``) emits
+``query_settles`` / ``engine_sources`` counters per strategy plus the
+``queries_match`` cross-check flag (the batched generation-stamped engine
+must return the exact distance list of the per-query heapq reference);
+pass ``--fresh-queries`` / ``--baseline-queries`` to gate it.  Runs marked
+``gate_query_speedup`` must record a ``query_speedup`` — per-query heapq
+wall-clock over the batched engine — of at least ``--min-query-speedup``
+(default 3×), checked in both documents like the other scale-row gates.
+
 The service chaos benchmark (``repro bench-service``) emits ``service_*``
 recovery/event counters plus the recovery guarantee flags
 (``service_verified``, ``rebuild_matches``, ``never_served_corrupt``,
@@ -67,6 +76,8 @@ Usage (standalone)::
         --baseline-faults benchmarks/BENCH_faults.json \
         --fresh-build BENCH_build.json \
         --baseline-build benchmarks/BENCH_build.json \
+        --fresh-queries BENCH_queries.json \
+        --baseline-queries benchmarks/BENCH_queries.json \
         --threshold 0.25
 
 Exit code 1 if any strategy's operation count regressed by more than the
@@ -133,6 +144,10 @@ OPERATION_COUNT_KEYS = (
     "build_filter_settles",
     "build_replay_settles",
     "build_candidate_edges",
+    # Query trajectory (repro.experiments.query_bench): settles of the
+    # batched multi-source engine and its per-query reference twin.
+    "query_settles",
+    "engine_sources",
     # Service trajectory (repro.experiments.service_bench): recovery and
     # cache event counts of the chaos sequence (all deterministic — each
     # phase induces a fixed number of failures).
@@ -160,6 +175,9 @@ CROSS_CHECK_FLAGS = (
     "post_repair_verified",
     "fault_replay_match",
     "builds_match",
+    # Query trajectory: the batched engine must reproduce the per-query
+    # reference distances bit for bit.
+    "queries_match",
     # Service trajectory: the recovery guarantees (verified serve, a
     # corrupted artifact quarantined and rebuilt byte-identical, warm hit,
     # expired lease reclaimed, injected worker death survived).
@@ -180,6 +198,10 @@ DEFAULT_MIN_REPAIR_SPEEDUP = 5.0
 #: scale-row acceptance bar).
 DEFAULT_MIN_BUILD_SPEEDUP = 3.0
 
+#: Default minimum per-query-heapq vs batched-engine wall-clock speedup on
+#: runs marked ``gate_query_speedup`` (the query trajectory's acceptance bar).
+DEFAULT_MIN_QUERY_SPEEDUP = 3.0
+
 #: Default maximum warm-serve/cold-build wall-clock ratio on service runs
 #: marked ``gate_serve_ratio`` (the service trajectory's scale-row
 #: acceptance bar: a warm cache hit must serve in under 1% of the build).
@@ -198,6 +220,7 @@ def find_regressions(
     threshold: float = DEFAULT_THRESHOLD,
     min_repair_speedup: float = DEFAULT_MIN_REPAIR_SPEEDUP,
     min_build_speedup: float = DEFAULT_MIN_BUILD_SPEEDUP,
+    min_query_speedup: float = DEFAULT_MIN_QUERY_SPEEDUP,
     max_serve_ratio: float = DEFAULT_MAX_SERVE_RATIO,
 ) -> list[str]:
     """Return human-readable regression descriptions (empty list = all good).
@@ -218,6 +241,7 @@ def find_regressions(
     # evidence falls below the bar is a problem even if CI didn't rerun it.
     seen_gated: set[str] = set()
     seen_build_gated: set[str] = set()
+    seen_query_gated: set[str] = set()
     seen_serve_gated: set[str] = set()
     for label, runs in (("fresh", fresh_runs), ("baseline", baseline_runs)):
         for key, run in sorted(runs.items()):
@@ -238,6 +262,15 @@ def find_regressions(
                         f"{key}: {label} build speedup {speedup:.2f}x is below the "
                         f"required {min_build_speedup:.2f}x (per-edge baseline / "
                         "CSR band-parallel wall-clock on a gated row)"
+                    )
+            if run.get("gate_query_speedup") and key not in seen_query_gated:
+                seen_query_gated.add(key)
+                speedup = float(run.get("query_speedup", 0.0))
+                if speedup < min_query_speedup:
+                    problems.append(
+                        f"{key}: {label} query speedup {speedup:.2f}x is below the "
+                        f"required {min_query_speedup:.2f}x (per-query heapq / "
+                        "batched engine wall-clock on a gated row)"
                     )
             if run.get("gate_serve_ratio") and key not in seen_serve_gated:
                 seen_serve_gated.add(key)
@@ -351,6 +384,16 @@ def main(argv: list[str] | None = None) -> int:
         help="committed construction baseline trajectory",
     )
     parser.add_argument(
+        "--fresh-queries",
+        default=None,
+        help="freshly emitted query trajectory (BENCH_queries.json); optional",
+    )
+    parser.add_argument(
+        "--baseline-queries",
+        default="benchmarks/BENCH_queries.json",
+        help="committed query baseline trajectory",
+    )
+    parser.add_argument(
         "--fresh-service",
         default=None,
         help="freshly emitted service trajectory (BENCH_service.json); optional",
@@ -385,6 +428,15 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--min-query-speedup",
+        type=float,
+        default=DEFAULT_MIN_QUERY_SPEEDUP,
+        help=(
+            "minimum per-query-heapq/batched-engine wall-clock ratio required "
+            "of query runs marked gate_query_speedup (checked in baseline and fresh)"
+        ),
+    )
+    parser.add_argument(
         "--max-serve-ratio",
         type=float,
         default=DEFAULT_MAX_SERVE_RATIO,
@@ -404,6 +456,8 @@ def main(argv: list[str] | None = None) -> int:
         pairs.append(("faults", args.baseline_faults, args.fresh_faults))
     if args.fresh_build is not None:
         pairs.append(("build", args.baseline_build, args.fresh_build))
+    if args.fresh_queries is not None:
+        pairs.append(("queries", args.baseline_queries, args.fresh_queries))
     if args.fresh_service is not None:
         pairs.append(("service", args.baseline_service, args.fresh_service))
 
@@ -421,6 +475,7 @@ def main(argv: list[str] | None = None) -> int:
                 threshold=args.threshold,
                 min_repair_speedup=args.min_repair_speedup,
                 min_build_speedup=args.min_build_speedup,
+                min_query_speedup=args.min_query_speedup,
                 max_serve_ratio=args.max_serve_ratio,
             )
         )

@@ -627,6 +627,112 @@ def _command_bench_build(args: argparse.Namespace) -> int:
     return 0 if all_match else 1
 
 
+def _command_bench_queries(args: argparse.Namespace) -> int:
+    from repro.experiments.query_bench import (
+        DEFAULT_STRATEGIES,
+        QUERY_PRESETS,
+        merge_run_into_file,
+        query_workload,
+        render_rows,
+        run_query_bench,
+        workload_key,
+    )
+
+    strategies: Optional[tuple[str, ...]] = None
+    if args.strategies is not None:
+        strategies = tuple(name.strip() for name in args.strategies.split(",") if name.strip())
+        unknown = [name for name in strategies if name not in DEFAULT_STRATEGIES]
+        if not strategies or unknown:
+            print(
+                f"unknown query strategies: {', '.join(unknown) or '(none given)'}; "
+                f"valid names: {', '.join(DEFAULT_STRATEGIES)}"
+            )
+            return 2
+
+    rows: list[tuple[dict[str, object], bool]] = []
+    if args.workloads:
+        requested = [key.strip() for key in args.workloads.split(",") if key.strip()]
+        if requested == ["all"]:
+            requested = list(QUERY_PRESETS)
+        unknown_keys = [key for key in requested if key not in QUERY_PRESETS]
+        if not requested or unknown_keys:
+            print(
+                f"unknown query workloads: {', '.join(unknown_keys) or '(none given)'}; "
+                "valid keys (or 'all'):"
+            )
+            for key in QUERY_PRESETS:
+                print(f"  {key}")
+            return 2
+        rows = [QUERY_PRESETS[key] for key in requested]
+    else:
+        workload = query_workload(
+            n=args.n,
+            degree=args.degree,
+            seed=args.seed,
+            queries=args.queries,
+            sources=args.sources,
+            query_seed=args.query_seed,
+        )
+        rows.append((workload, False))
+
+    all_match = True
+    for workload, gated in rows:
+        run = run_query_bench(
+            workload,
+            strategies=strategies or DEFAULT_STRATEGIES,
+            gate_query_speedup=gated,
+        )
+        merge_run_into_file(args.output, run)
+        print(render_table(render_rows(run), title=f"query matrix: {workload_key(workload)}"))
+        if "query_speedup" in run:
+            print(f"batched engine vs per-query heapq: {run['query_speedup']:.2f}x")
+        if "queries_match" in run:
+            print(f"queries_match: {run['queries_match']}")
+            all_match = all_match and bool(run["queries_match"])
+    print(f"trajectory written to {args.output}")
+    return 0 if all_match else 1
+
+
+def _command_profile(args: argparse.Namespace) -> int:
+    """cProfile a preset workload and print/save the top-N cumulative table.
+
+    The same table CI uploads as an artifact next to the gated bench rows, so
+    a regression report always ships with the profile that explains it.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    if args.workload == "build":
+        from repro.experiments.build_bench import bucketed_workload, run_build_bench
+
+        workload = bucketed_workload(n=args.n, degree=args.degree, seed=args.seed)
+        profiler.enable()
+        run_build_bench(workload, strategies=("csr-parallel-w1",), workers=1)
+        profiler.disable()
+    else:
+        from repro.experiments.query_bench import query_workload, run_query_bench
+
+        workload = query_workload(
+            n=args.n, degree=args.degree, seed=args.seed,
+            queries=args.queries, sources=args.sources,
+        )
+        profiler.enable()
+        run_query_bench(workload)
+        profiler.disable()
+
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    report = buffer.getvalue()
+    print(report)
+    if args.output:
+        Path(args.output).write_text(report)
+        print(f"profile written to {args.output}")
+    return 0
+
+
 def _command_bench_service(args: argparse.Namespace) -> int:
     from repro.experiments.overlay_bench import geometric_workload
     from repro.experiments.service_bench import (
@@ -1222,6 +1328,82 @@ def build_parser() -> argparse.ArgumentParser:
         build_bench_parser, bench="build", output="BENCH_build.json", workers=True
     )
     build_bench_parser.set_defaults(handler=_command_bench_build)
+
+    query_bench_parser = subparsers.add_parser(
+        "bench-queries",
+        help=(
+            "benchmark batched multi-source query throughput (per-query heapq "
+            "vs the generation-stamped engine) and emit BENCH_queries.json"
+        ),
+    )
+    query_bench_parser.add_argument(
+        "--n", type=int, default=2000, help="number of vertices"
+    )
+    query_bench_parser.add_argument(
+        "--degree",
+        type=float,
+        default=8.0,
+        help="target average degree of the bucketed geometric graph",
+    )
+    query_bench_parser.add_argument("--seed", type=int, default=3)
+    query_bench_parser.add_argument(
+        "--queries", type=int, default=256, help="size of the query batch"
+    )
+    query_bench_parser.add_argument(
+        "--sources",
+        type=int,
+        default=16,
+        help="distinct source pool size (batching amortizes per shared source)",
+    )
+    query_bench_parser.add_argument("--query-seed", type=int, default=11)
+    query_bench_parser.add_argument(
+        "--strategies",
+        default=None,
+        help=(
+            "comma-separated query strategies to run (per-query-heapq, "
+            "batched-engine); defaults to both"
+        ),
+    )
+    _add_bench_matrix_options(
+        query_bench_parser, bench="query", output="BENCH_queries.json"
+    )
+    query_bench_parser.set_defaults(handler=_command_bench_queries)
+
+    profile_parser = subparsers.add_parser(
+        "profile",
+        help=(
+            "cProfile a preset workload (build or queries) and print the "
+            "top-N table; CI uploads it as an artifact next to the bench rows"
+        ),
+    )
+    profile_parser.add_argument(
+        "--workload",
+        choices=["build", "queries"],
+        default="build",
+        help="which hot path to profile",
+    )
+    profile_parser.add_argument("--n", type=int, default=5000)
+    profile_parser.add_argument("--degree", type=float, default=16.0)
+    profile_parser.add_argument("--seed", type=int, default=3)
+    profile_parser.add_argument(
+        "--queries", type=int, default=512, help="query batch size (queries workload)"
+    )
+    profile_parser.add_argument(
+        "--sources", type=int, default=32, help="source pool size (queries workload)"
+    )
+    profile_parser.add_argument(
+        "--sort",
+        choices=["cumulative", "tottime"],
+        default="cumulative",
+        help="pstats sort column",
+    )
+    profile_parser.add_argument(
+        "--top", type=int, default=30, help="number of rows to print"
+    )
+    profile_parser.add_argument(
+        "--output", default=None, help="also write the table to this file"
+    )
+    profile_parser.set_defaults(handler=_command_profile)
 
     service_bench_parser = subparsers.add_parser(
         "bench-service",

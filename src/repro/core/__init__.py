@@ -18,6 +18,7 @@ from repro.core.parallel_greedy import (
     parallel_greedy_spanner_of_metric,
 )
 from repro.core.cluster_graph import ClusterGraph
+from repro.core.query_engine import QueryEngine, reference_queries, reference_queries_ids
 from repro.core.distance_oracle import (
     BidirectionalDijkstraOracle,
     BoundedDijkstraOracle,
@@ -65,6 +66,9 @@ __all__ = [
     "parallel_greedy_spanner",
     "parallel_greedy_spanner_of_metric",
     "ClusterGraph",
+    "QueryEngine",
+    "reference_queries",
+    "reference_queries_ids",
     "BidirectionalDijkstraOracle",
     "BoundedDijkstraOracle",
     "CachedDijkstraOracle",

@@ -41,9 +41,11 @@ from __future__ import annotations
 import abc
 import heapq
 import math
+from typing import Sequence
 
 import numpy as np
 
+from repro.core.query_engine import QueryEngine
 from repro.errors import VertexNotFoundError
 from repro.graph.indexed_graph import IndexedGraph
 from repro.graph.shortest_paths import (
@@ -55,11 +57,27 @@ from repro.graph.shortest_paths import (
 from repro.graph.weighted_graph import Vertex, WeightedGraph
 
 
-class DistanceOracle(abc.ABC):
-    """Answers "is δ_H(u, v) ≤ cutoff?" queries against a growing spanner ``H``."""
+#: Inner-search engines accepted by the indexed oracles (the ``mode=`` seam
+#: of :mod:`repro.graph.shortest_paths`): ``"list"`` is the seed lazy-heapq
+#: path, ``"heap"`` the int-indexed d-ary decrease-key twin.
+SEARCH_MODES = ("list", "heap")
 
-    def __init__(self, spanner: WeightedGraph) -> None:
+
+class DistanceOracle(abc.ABC):
+    """Answers "is δ_H(u, v) ≤ cutoff?" queries against a growing spanner ``H``.
+
+    ``search_mode`` selects the inner-search engine on the indexed oracles
+    (``"list"``, the default, or ``"heap"``); the dict-based reference
+    oracles accept and ignore it, so every strategy constructs uniformly.
+    """
+
+    def __init__(self, spanner: WeightedGraph, *, search_mode: str = "list") -> None:
+        if search_mode not in SEARCH_MODES:
+            raise ValueError(
+                f"search_mode must be one of {SEARCH_MODES}, got {search_mode!r}"
+            )
         self.spanner = spanner
+        self.search_mode = search_mode
         self.query_count = 0
         self.settled_count = 0
 
@@ -115,8 +133,11 @@ class FullDijkstraOracle(DistanceOracle):
         heap: list[tuple[float, int, Vertex]] = [(0.0, 0, u)]
         counter = 0
         result = math.inf
+        push = heapq.heappush
+        pop = heapq.heappop
+        incident = self.spanner.incident
         while heap:
-            dist, _, vertex = heapq.heappop(heap)
+            dist, _, vertex = pop(heap)
             if vertex in settled:
                 continue
             settled.add(vertex)
@@ -124,10 +145,10 @@ class FullDijkstraOracle(DistanceOracle):
             if vertex == v:
                 result = dist
                 break
-            for neighbour, weight in self.spanner.incident(vertex):
+            for neighbour, weight in incident(vertex):
                 if neighbour not in settled:
                     counter += 1
-                    heapq.heappush(heap, (dist + weight, counter, neighbour))
+                    push(heap, (dist + weight, counter, neighbour))
         return result if result <= cutoff else math.inf
 
 
@@ -141,9 +162,10 @@ class _IndexedOracle(DistanceOracle):
     mutations of the spanner that bypass the hook are not observed.
     """
 
-    def __init__(self, spanner: WeightedGraph) -> None:
-        super().__init__(spanner)
+    def __init__(self, spanner: WeightedGraph, *, search_mode: str = "list") -> None:
+        super().__init__(spanner, search_mode=search_mode)
         self._index = IndexedGraph.from_weighted_graph(spanner)
+        self._engine: QueryEngine | None = None
 
     def notify_edge_added(self, u: Vertex, v: Vertex, weight: float) -> None:
         # The greedy loop adds each edge at most once, so the mirror can take
@@ -155,6 +177,36 @@ class _IndexedOracle(DistanceOracle):
             return self._index.id_of(vertex)
         except KeyError:
             raise VertexNotFoundError(vertex) from None
+
+    @property
+    def query_engine(self) -> QueryEngine:
+        """The oracle's batched query engine, built lazily over the mirror.
+
+        The engine shares the mirror's live adjacency arrays, so edges
+        reported through :meth:`notify_edge_added` are observed without any
+        rebuild; its one heap and generation-stamped scratch persist across
+        batches.
+        """
+        if self._engine is None:
+            self._engine = QueryEngine(self._index)
+        return self._engine
+
+    def run_queries(
+        self, sources: Sequence[Vertex], targets: Sequence[Vertex]
+    ) -> list[float]:
+        """Answer the paired distance queries ``(sources[i], targets[i])``.
+
+        Batched exact point-to-point distances in the *current* spanner
+        ``H`` — one early-stopped search per distinct source on the shared
+        engine instead of one Dijkstra per query.  Query and settle counts
+        land in the oracle's counters like any other query.
+        """
+        engine = self.query_engine
+        settled_before = engine.settled_count
+        results = engine.run_queries(sources, targets)
+        self.query_count += len(results)
+        self.settled_count += engine.settled_count - settled_before
+        return results
 
 
 class BidirectionalDijkstraOracle(_IndexedOracle):
@@ -186,7 +238,7 @@ class BidirectionalDijkstraOracle(_IndexedOracle):
         vid = self._vertex_id(v)
         guard = 0.0 if math.isinf(cutoff) else cutoff * self.BOUNDARY_GUARD
         distance, settled_f, settled_b = indexed_bidirectional_cutoff(
-            self._index, uid, vid, cutoff + guard
+            self._index, uid, vid, cutoff + guard, mode=self.search_mode
         )
         self.settled_count += len(settled_f) + len(settled_b)
         if distance <= cutoff - guard:
@@ -196,7 +248,9 @@ class BidirectionalDijkstraOracle(_IndexedOracle):
             # every path exceeds the cutoff under the forward order too.
             return math.inf
         # Within the boundary band: defer to the forward-order search.
-        distance, settled = indexed_dijkstra_with_cutoff(self._index, uid, vid, cutoff)
+        distance, settled = indexed_dijkstra_with_cutoff(
+            self._index, uid, vid, cutoff, mode=self.search_mode
+        )
         self.settled_count += len(settled)
         return distance
 
@@ -256,8 +310,8 @@ class CachedDijkstraOracle(_IndexedOracle):
     #: When True, callers promise non-decreasing cutoffs per run (see above).
     monotone_cutoffs: bool
 
-    def __init__(self, spanner: WeightedGraph) -> None:
-        super().__init__(spanner)
+    def __init__(self, spanner: WeightedGraph, *, search_mode: str = "list") -> None:
+        super().__init__(spanner, search_mode=search_mode)
         self._bounds: dict[int, float] = {}
         self._ball_bits: dict[int, "np.ndarray"] = {}
         self.cache_hits = 0
@@ -296,7 +350,7 @@ class CachedDijkstraOracle(_IndexedOracle):
             self.cache_hits += 1
             return cached
         self.cache_misses += 1
-        settled = indexed_ball(self._index, uid, cutoff)
+        settled = indexed_ball(self._index, uid, cutoff, mode=self.search_mode)
         self.settled_count += len(settled)
         self._harvest(uid, settled)
         distance = settled.get(vid)
@@ -359,12 +413,17 @@ ORACLE_FACTORIES = {
 }
 
 
-def make_oracle(name: str, spanner: WeightedGraph) -> DistanceOracle:
+def make_oracle(
+    name: str, spanner: WeightedGraph, *, search_mode: str = "list"
+) -> DistanceOracle:
     """Instantiate the oracle strategy called ``name`` over ``spanner``.
 
     Valid names are ``"cached"`` (default strategy of the greedy algorithm),
     ``"bidirectional"``, ``"bounded"`` and ``"full"``; see the module
     docstring and ``docs/PERFORMANCE.md`` for the trade-offs.
+    ``search_mode`` selects the inner-search engine of the indexed
+    strategies (``"list"`` or ``"heap"`` — identical answers, see
+    :mod:`repro.graph.heap`).
     """
     try:
         factory = ORACLE_FACTORIES[name]
@@ -372,4 +431,4 @@ def make_oracle(name: str, spanner: WeightedGraph) -> DistanceOracle:
         raise ValueError(
             f"unknown oracle {name!r}; valid names: {sorted(ORACLE_FACTORIES)}"
         ) from exc
-    return factory(spanner)
+    return factory(spanner, search_mode=search_mode)

@@ -12,9 +12,12 @@ frozen-filter / canonical-replay decomposition:
    never of the worker count).
 2. Within a band, every edge is checked against the **frozen** spanner
    ``H_frozen`` — the state after all previous bands finished.  Edges are
-   grouped by source endpoint and each group is decided by ONE bounded
-   ball of radius ``t · max(w)`` (the PR-5 verification discipline), run by
-   worker processes on a shared-memory :class:`CSRAdjacency` snapshot.
+   grouped under their *busier* endpoint (band-global frequency count, ties
+   to the lower id — fewer balls than always keying on the canonical
+   source, at identical verdicts since ``δ`` is symmetric) and each group
+   is decided by ONE bounded ball of radius ``t · max(w)`` (the PR-5
+   verification discipline), run by worker processes on a shared-memory
+   :class:`CSRAdjacency` snapshot.
    Rejection is **sound**: the serial greedy's ``H`` at examination time is a
    superset of ``H_frozen``, so ``δ_frozen(u, v) ≤ t·w`` implies
    ``δ_serial(u, v) ≤ t·w`` — the serial algorithm would have rejected too.
@@ -50,9 +53,12 @@ from heapq import heappop, heappush
 from itertools import chain
 from typing import Iterable, Optional
 
+import numpy as np
+
 from repro.errors import InvalidStretchError
 from repro.core.spanner import Spanner
 from repro.graph.csr import CSRAdjacency, SharedCSRDescriptor, attach_csr, share_csr
+from repro.graph.heap import IndexedDaryHeap
 from repro.graph.indexed_graph import IndexedGraph
 from repro.graph.shortest_paths import csr_bounded_search, indexed_bidirectional_cutoff
 from repro.graph.weighted_graph import WeightedEdge, WeightedGraph
@@ -78,14 +84,16 @@ SCALAR_KERNEL_MAX_DEGREE = 64.0
 FilterGroup = tuple[int, list[tuple[int, int, float]]]
 
 #: One shard's verdicts: candidate canonical indices, ball settle count and
-#: the harvest — per-source settled-vertex id lists for the coverage cache.
-ShardResult = tuple[list[int], int, list[tuple[int, list[int]]]]
+#: the harvest — packed ``(min_id << 32) | max_id`` coverage pairs, already
+#: in the cache's key encoding so the parent merges them with one C-level
+#: ``set.update`` instead of a per-pair python loop.
+ShardResult = tuple[list[int], int, list[int]]
 
-# Worker-side caches of the attached frozen snapshot (and its bulk list
+# Worker-side caches of the attached frozen snapshot (and its bulk pair-row
 # conversion for the scalar kernel): bands reuse one attachment until the
 # parent publishes a new block under a new name.
 _ATTACHED: Optional[tuple[str, CSRAdjacency]] = None
-_ATTACHED_LISTS: Optional[tuple[str, tuple[list[int], list[int], list[float]]]] = None
+_ATTACHED_PAIRS: Optional[tuple[str, list[list[tuple[float, int]]]]] = None
 
 #: Chaos hook for the worker-death regression tests: when set to a band
 #: index, a forked filter worker handed that band SIGKILLs itself before
@@ -107,83 +115,213 @@ def _attached_csr(descriptor: SharedCSRDescriptor) -> CSRAdjacency:
     return csr
 
 
-def _csr_as_lists(csr: CSRAdjacency) -> tuple[list[int], list[int], list[float]]:
-    """Bulk-convert CSR arrays to flat python lists for the scalar kernel."""
-    return csr.indptr.tolist(), csr.indices.tolist(), csr.weights.tolist()
+def _csr_as_pairs(csr: CSRAdjacency) -> list[list[tuple[float, int]]]:
+    """Bulk-convert CSR arrays to per-vertex ``(weight, neighbour)`` pair rows.
+
+    Each adjacency row is re-sorted by ``(weight, neighbour id)`` (one
+    vectorized lexsort per snapshot) so the ball kernels can *break* out of
+    a vertex's relaxation loop at the first neighbour whose edge already
+    overshoots the radius — every later neighbour overshoots too.  On
+    degree-96 workloads only a few percent of scanned edges pass the radius
+    test, so the break removes the bulk of the inner-loop work.  The pairs
+    are pre-zipped into tuples so the kernel's relaxation loop is a single
+    list subscript plus tuple unpacking — no per-settle slice allocation,
+    no per-edge ``zip`` churn (measured ~30% off the ball kernel;
+    docs/PERFORMANCE.md).  Row order is unobservable in the results: ball
+    distances are adjacency-order independent, and the heap pops by the
+    total ``(dist, vertex)`` key, so the settle order is unchanged.
+    """
+    indptr = csr.indptr
+    rows = np.repeat(
+        np.arange(len(indptr) - 1, dtype=np.int64), np.diff(indptr)
+    )
+    order = np.lexsort((csr.indices, csr.weights, rows))
+    flat = list(zip(csr.weights[order].tolist(), csr.indices[order].tolist()))
+    bounds = indptr.tolist()
+    return [flat[bounds[v]:bounds[v + 1]] for v in range(len(bounds) - 1)]
+
+
+# Per-process scratch of the scalar filter kernel, keyed by vertex count:
+# a flat tentative-distance array plus a generation stamp so starting a ball
+# is one counter increment, not an O(n) clear (the same trick as the CSR
+# search scratch and the d-ary heap's lazy reset).
+_SCALAR_SCRATCH: dict[int, tuple[list[float], list[int], list[int]]] = {}
+
+# Per-process decrease-key heaps of the ``search_mode="heap"`` filter
+# kernel, keyed by vertex count (generation-stamped, so reuse is O(1)).
+_HEAP_SCRATCH: dict[int, IndexedDaryHeap] = {}
+
+
+def _scalar_scratch(n: int) -> tuple[list[float], list[int], list[int]]:
+    scratch = _SCALAR_SCRATCH.get(n)
+    if scratch is None:
+        scratch = _SCALAR_SCRATCH[n] = ([0.0] * n, [0] * n, [0])
+    return scratch
 
 
 def _scalar_ball(
-    indptr: list[int],
-    indices: list[int],
-    weights: list[float],
+    pairs: list[list[tuple[float, int]]],
     source: int,
     radius: float,
-) -> dict[int, float]:
-    """Bounded Dijkstra ball over flat CSR lists — the scalar filter kernel.
+    dist: list[float],
+    stamp: list[int],
+    gen: int,
+) -> list[int]:
+    """Bounded Dijkstra ball over pre-zipped pair rows — the scalar filter kernel.
 
-    Same settled-dict discipline (and therefore the same settle count and
-    the same IEEE-identical distance sums) as ``_list_bounded`` /
-    ``csr_bounded_search`` in :mod:`repro.graph.shortest_paths`.  The ball
-    deliberately runs to its full radius even after every group target is
-    settled: the surplus is harvested into the coverage cache, where it
-    rejects later bands' edges for free (early exit was a measured net loss
-    — docs/PERFORMANCE.md).
+    Same settled set (contents, settle order and therefore settle count,
+    with IEEE-identical distance sums) as ``_list_bounded`` /
+    ``csr_bounded_search`` in :mod:`repro.graph.shortest_paths`.  Unlike
+    the seed loop it prunes non-improving pushes through a
+    generation-stamped tentative-distance array: a pruned entry is never
+    the minimum entry of its vertex, so the pop order of *first* pops — the
+    only observable order — is untouched while the heap stays a fraction of
+    the size (the dominant cost of dense bands; docs/PERFORMANCE.md).  A
+    settled vertex needs no membership test on relaxation: its tentative
+    distance is final, so the strict ``<`` prune rejects re-relaxation.
+
+    Returns the settled vertex ids in settle order; the distances live in
+    ``dist`` under stamp ``gen``.  No settled dict is built at all: under
+    the strict ``<`` prune every stamped vertex is eventually settled (its
+    minimum heap entry is within the radius and the ball runs the heap
+    dry), so ``stamp[v] == gen`` *is* the membership test and ``dist[v]``
+    the final distance.  Staleness of a popped entry is likewise one list
+    subscript (``d > dist[vertex]``) instead of a dict probe, and
+    neighbours stream through pre-zipped ``(weight, neighbour)`` rows
+    rather than per-settle slicing (:func:`_csr_as_pairs`).
+
+    The ball deliberately runs to its full radius even after every group
+    target is settled: the surplus is harvested into the coverage cache,
+    where it rejects later bands' edges for free (early exit was a measured
+    net loss — docs/PERFORMANCE.md).
     """
-    settled: dict[int, float] = {}
+    settled_ids: list[int] = []
+    append = settled_ids.append
+    pop = heappop
+    push = heappush
     heap: list[tuple[float, int]] = [(0.0, source)]
+    dist[source] = 0.0
+    stamp[source] = gen
     while heap:
-        dist, vertex = heappop(heap)
-        if vertex in settled:
+        d, vertex = pop(heap)
+        if d > dist[vertex]:
             continue
-        settled[vertex] = dist
-        for slot in range(indptr[vertex], indptr[vertex + 1]):
-            neighbour = indices[slot]
-            if neighbour in settled:
-                continue
-            new_dist = dist + weights[slot]
-            if new_dist <= radius:
-                heappush(heap, (new_dist, neighbour))
-    return settled
+        append(vertex)
+        for weight, neighbour in pairs[vertex]:
+            new_dist = d + weight
+            if new_dist > radius:
+                break  # rows are weight-sorted: every later neighbour overshoots
+            if stamp[neighbour] != gen or new_dist < dist[neighbour]:
+                dist[neighbour] = new_dist
+                stamp[neighbour] = gen
+                push(heap, (new_dist, neighbour))
+    return settled_ids
+
+
+def _heap_ball(
+    pairs: list[list[tuple[float, int]]],
+    source: int,
+    radius: float,
+    heap: IndexedDaryHeap,
+    dist: list[float],
+    stamp: list[int],
+    gen: int,
+) -> list[int]:
+    """The decrease-key twin of :func:`_scalar_ball` on the d-ary heap core.
+
+    Identical settled ids and distances by the total-order argument of
+    :mod:`repro.graph.heap` (the builds-match tests assert the resulting
+    spanner is byte-identical for ``search_mode="heap"``).  Results are
+    reported through the same ``(dist, stamp, gen)`` scratch interface as
+    the scalar kernel so the caller's candidate checks are kernel-agnostic.
+    """
+    heap.clear()
+    heap.insert(source, 0.0)
+    settled_ids: list[int] = []
+    append = settled_ids.append
+    pop_min = heap.pop_min
+    relax = heap.relax
+    while len(heap):
+        d, vertex = pop_min()
+        append(vertex)
+        dist[vertex] = d
+        stamp[vertex] = gen
+        for weight, neighbour in pairs[vertex]:
+            new_dist = d + weight
+            if new_dist > radius:
+                break  # rows are weight-sorted: every later neighbour overshoots
+            relax(neighbour, new_dist)
+    return settled_ids
 
 
 def _filter_groups(
     frozen: CSRAdjacency,
-    lists: Optional[tuple[list[int], list[int], list[float]]],
+    pairs: Optional[list[list[tuple[float, int]]]],
     groups: list[FilterGroup],
     t: float,
+    search_mode: str = "list",
 ) -> ShardResult:
     """Decide one shard of per-source groups against the frozen snapshot.
 
-    Returns ``(candidate_indices, settles, harvest)``: the canonical indices
+    Returns ``(candidate_indices, settles, covered)``: the canonical indices
     of the edges the frozen spanner could NOT reject, the ball settle count,
-    and the settled vertex ids of each ball (the parent merges them into the
-    monotone coverage cache).  Pure function of the arguments — and the
-    kernel choice is part of the arguments (``lists`` non-None selects the
-    scalar kernel), so verdicts, counts and harvests never depend on the
-    worker count: the determinism anchor.
+    and every settled ``(source, x)`` pair packed into the coverage cache's
+    ``(min << 32) | max`` key encoding — the packing is vectorized here (one
+    numpy min/max/shift per ball) so the parent's merge is a single
+    ``set.update``.  Pure function of the arguments — and the kernel choice
+    is part of the arguments (``pairs`` non-None selects the scalar kernel,
+    ``search_mode`` the queue discipline), so verdicts, counts and harvests
+    never depend on the worker count: the determinism anchor.
     """
     candidates: list[int] = []
     settles = 0
-    harvest: list[tuple[int, list[int]]] = []
+    covered: list[int] = []
+    heap_kernel = search_mode == "heap" and pairs is not None
+    if pairs is not None:
+        dist, stamp, genbox = _scalar_scratch(len(pairs))
+        if heap_kernel:
+            n = len(pairs)
+            heap = _HEAP_SCRATCH.get(n)
+            if heap is None:
+                heap = _HEAP_SCRATCH[n] = IndexedDaryHeap(n)
     for source_id, items in groups:
-        radius = t * items[-1][2]  # canonical order: last item has max weight
-        if lists is not None:
-            settled = _scalar_ball(lists[0], lists[1], lists[2], source_id, radius)
+        if pairs is not None:
+            radius = t * items[-1][2]  # canonical order: last item has max weight
+            genbox[0] += 1
+            gen = genbox[0]
+            if heap_kernel:
+                settled_ids = _heap_ball(
+                    pairs, source_id, radius, heap, dist, stamp, gen,
+                )
+            else:
+                settled_ids = _scalar_ball(
+                    pairs, source_id, radius, dist, stamp, gen,
+                )
+            settles += len(settled_ids)
+            ids = np.fromiter(settled_ids, dtype=np.int64, count=len(settled_ids))
+            packed = (np.minimum(ids, source_id) << 32) | np.maximum(ids, source_id)
+            covered.extend(packed.tolist())
+            for canonical_index, target_id, weight in items:
+                if stamp[target_id] != gen or dist[target_id] > t * weight:
+                    candidates.append(canonical_index)
         else:
+            radius = t * items[-1][2]  # canonical order: last item has max weight
             settled = csr_bounded_search(frozen, source_id, radius)[1]
-        settles += len(settled)
-        harvest.append((source_id, list(settled)))
-        for canonical_index, target_id, weight in items:
-            distance = settled.get(target_id)
-            if distance is None or distance > t * weight:
-                candidates.append(canonical_index)
-    return candidates, settles, harvest
+            settles += len(settled)
+            ids = np.fromiter(settled, dtype=np.int64, count=len(settled))
+            packed = (np.minimum(ids, source_id) << 32) | np.maximum(ids, source_id)
+            covered.extend(packed.tolist())
+            for canonical_index, target_id, weight in items:
+                distance = settled.get(target_id)
+                if distance is None or distance > t * weight:
+                    candidates.append(canonical_index)
+    return candidates, settles, covered
 
 
 def _filter_shard(payload) -> ShardResult:
     """Worker entry point: attach the published snapshot, decide the shard."""
-    global _ATTACHED_LISTS
-    frozen, shard, t, scalar_kernel, band_index = payload
+    global _ATTACHED_PAIRS
+    frozen, shard, t, scalar_kernel, band_index, search_mode = payload
     if _KILL_AT_BAND is not None and band_index == _KILL_AT_BAND:
         # Chaos injection: die exactly the way a OOM-killed or crashed
         # worker would — no exception, no cleanup, the process just stops.
@@ -193,15 +331,15 @@ def _filter_shard(payload) -> ShardResult:
         frozen = _attached_csr(frozen)
     else:
         name = None
-    lists = None
+    pairs = None
     if scalar_kernel:
         if name is not None:
-            if _ATTACHED_LISTS is None or _ATTACHED_LISTS[0] != name:
-                _ATTACHED_LISTS = (name, _csr_as_lists(frozen))
-            lists = _ATTACHED_LISTS[1]
+            if _ATTACHED_PAIRS is None or _ATTACHED_PAIRS[0] != name:
+                _ATTACHED_PAIRS = (name, _csr_as_pairs(frozen))
+            pairs = _ATTACHED_PAIRS[1]
         else:
-            lists = _csr_as_lists(frozen)
-    return _filter_groups(frozen, lists, shard, t)
+            pairs = _csr_as_pairs(frozen)
+    return _filter_groups(frozen, pairs, shard, t, search_mode)
 
 
 def _pack_pair(a: int, b: int) -> int:
@@ -284,6 +422,7 @@ def parallel_greedy_spanner(
     bands: int = DEFAULT_BANDS,
     band_edges: Optional[int] = None,
     edges: Optional[Iterable[WeightedEdge]] = None,
+    search_mode: str = "list",
 ) -> Spanner:
     """Build the greedy ``t``-spanner on the CSR + band-parallel path.
 
@@ -310,6 +449,12 @@ def parallel_greedy_spanner(
     edges:
         Optional canonical-order edge source overriding
         ``graph.edges_sorted_by_weight()`` (e.g. the streaming pipeline).
+    search_mode:
+        ``"list"`` (default) runs the seed lazy-heapq filter/replay
+        kernels; ``"heap"`` runs the decrease-key twins on the int-indexed
+        d-ary heap core of :mod:`repro.graph.heap`.  Byte-identical spanner
+        and identical deterministic counters either way (the total-order
+        tie-break argument; asserted by the builds-match tests).
 
     Returns
     -------
@@ -324,6 +469,10 @@ def parallel_greedy_spanner(
     """
     if t < 1.0:
         raise InvalidStretchError(f"stretch must be at least 1, got {t}")
+    if search_mode not in ("list", "heap"):
+        raise ValueError(
+            f"unknown search mode {search_mode!r} (expected 'list' or 'heap')"
+        )
     from repro.experiments.harness import (
         deterministic_shards,
         fork_available,
@@ -359,20 +508,47 @@ def parallel_greedy_spanner(
     #: ``r ≤ t·w`` for every weight ``w`` still ahead in the canonical order
     #: (bands are non-decreasing), so membership alone rejects forever.
     covered: set[int] = set()
-    intern = mirror.intern
+    covered_update = covered.update
+    covered_add = covered.add
+    # Every vertex is interned at mirror construction, so the per-edge id
+    # translation is a plain dict subscript — no intern() call per endpoint.
+    id_of = mirror.id_map()
     try:
         for band in edge_bands(edges, band_edges):
             band_count += 1
             groups: dict[int, list[tuple[int, int, float]]] = {}
             info: dict[int, tuple] = {}
+            # First pass: cache-reject, intern, and count endpoint
+            # frequencies of the surviving edges.  Each survivor is then
+            # grouped under its *busier* endpoint (ties to the lower id), so
+            # one ball decides as many edges as possible — fewer balls than
+            # always keying on the canonical source, at identical verdicts
+            # (δ is symmetric, so either endpoint's ball decides the edge).
+            # Both passes see only the band and the cache, never the worker
+            # count, so grouping stays deterministic.
+            survivors: list[tuple[int, int, int, object, object, float]] = []
+            frequency: dict[int, int] = {}
             for offset, (u, v, weight) in enumerate(band):
                 canonical_index = examined + offset
-                uid = intern(u)
-                vid = intern(v)
-                if _pack_pair(uid, vid) in covered:
+                uid = id_of[u]
+                vid = id_of[v]
+                # _pack_pair, inlined: this check runs once per examined edge.
+                if ((uid << 32) | vid if uid < vid else (vid << 32) | uid) in covered:
                     cache_hits += 1
                     continue
-                groups.setdefault(uid, []).append((canonical_index, vid, weight))
+                survivors.append((canonical_index, uid, vid, u, v, weight))
+                frequency[uid] = frequency.get(uid, 0) + 1
+                frequency[vid] = frequency.get(vid, 0) + 1
+            for canonical_index, uid, vid, u, v, weight in survivors:
+                fu = frequency[uid]
+                fv = frequency[vid]
+                if fu > fv or (fu == fv and uid < vid):
+                    source_id, target_id = uid, vid
+                else:
+                    source_id, target_id = vid, uid
+                groups.setdefault(source_id, []).append(
+                    (canonical_index, target_id, weight)
+                )
                 info[canonical_index] = (u, v, uid, vid, weight)
             examined += len(band)
             frozen = mirror.finalize()
@@ -394,7 +570,14 @@ def parallel_greedy_spanner(
                     results = pool.map(
                         _filter_shard,
                         [
-                            (payload_frozen, shard, t, scalar_kernel, band_count - 1)
+                            (
+                                payload_frozen,
+                                shard,
+                                t,
+                                scalar_kernel,
+                                band_count - 1,
+                                search_mode,
+                            )
                             for shard in shards
                         ],
                     )
@@ -414,35 +597,34 @@ def parallel_greedy_spanner(
                         shm.close()
                         shm.unlink()
             if results is None and group_items:
-                lists = _csr_as_lists(frozen) if scalar_kernel else None
-                results = [_filter_groups(frozen, lists, group_items, t)]
+                pairs = _csr_as_pairs(frozen) if scalar_kernel else None
+                results = [_filter_groups(frozen, pairs, group_items, t, search_mode)]
             results = results or []
             candidates = sorted(chain.from_iterable(part for part, _, _ in results))
             filter_settles += sum(settles for _, settles, _ in results)
             candidate_total += len(candidates)
             for _, _, harvest in results:
-                for source_id, settled_ids in harvest:
-                    for x in settled_ids:
-                        covered.add(_pack_pair(source_id, x))
+                covered_update(harvest)
             for canonical_index in candidates:
                 u, v, uid, vid, weight = info[canonical_index]
                 cutoff = t * weight
                 distance, settled_f, settled_b = indexed_bidirectional_cutoff(
-                    mirror, uid, vid, cutoff
+                    mirror, uid, vid, cutoff, mode=search_mode
                 )
                 replay_settles += len(settled_f) + len(settled_b)
                 # Replay half-balls are certified bounds on the live (even
                 # larger) spanner at cutoff t·w ≤ every future cutoff — free
-                # coverage, exactly the oracle's harvesting.
+                # coverage, exactly the oracle's harvesting (_pack_pair
+                # inlined in both loops).
                 for x in settled_f:
-                    covered.add(_pack_pair(uid, x))
+                    covered_add((uid << 32) | x if uid < x else (x << 32) | uid)
                 for x in settled_b:
-                    covered.add(_pack_pair(vid, x))
+                    covered_add((vid << 32) | x if vid < x else (x << 32) | vid)
                 if distance > cutoff:
                     spanner_graph.add_edge(u, v, weight)
                     mirror.append_edge_unchecked_ids(uid, vid, weight)
                     added += 1
-                    covered.add(_pack_pair(uid, vid))
+                    covered_add((uid << 32) | vid if uid < vid else (vid << 32) | uid)
     finally:
         if pool is not None:
             pool.close()
@@ -478,6 +660,7 @@ def parallel_greedy_spanner_of_metric(
     *,
     workers: Optional[int] = 1,
     bands: int = DEFAULT_BANDS,
+    search_mode: str = "list",
 ) -> Spanner:
     """Band-parallel greedy on the complete graph of a finite metric space.
 
@@ -488,7 +671,12 @@ def parallel_greedy_spanner_of_metric(
     """
     closure = MetricClosure(metric)
     spanner = parallel_greedy_spanner(
-        closure, t, workers=workers, bands=bands, edges=sorted_pair_stream(metric)
+        closure,
+        t,
+        workers=workers,
+        bands=bands,
+        edges=sorted_pair_stream(metric),
+        search_mode=search_mode,
     )
     spanner.algorithm = "greedy-parallel-metric"
     return spanner

@@ -29,10 +29,10 @@ directly.
 
 from __future__ import annotations
 
-import heapq
 import math
 from dataclasses import dataclass
 
+from repro.graph.heap import EventQueue
 from repro.graph.indexed_graph import IndexedGraph
 from repro.graph.weighted_graph import WeightedGraph
 
@@ -106,23 +106,19 @@ def indexed_flood(indexed: IndexedGraph, source: int) -> FloodRun:
     parent = [-1] * n
     delivery[source] = 0.0
 
-    heap: list[tuple[float, int, int, int]] = []
-    push = heapq.heappush
-    pop = heapq.heappop
-    sequence = 0
+    queue = EventQueue()
     messages = 0
     cost = 0.0
     now = 0.0
     events = 0
 
     for neighbour, weight in zip(neighbour_ids[source], neighbour_weights[source]):
-        push(heap, (weight, sequence, source, neighbour))
-        sequence += 1
+        queue.push(weight, source, neighbour)
         messages += 1
         cost += weight
 
-    while heap:
-        arrival, _, sender, vertex = pop(heap)
+    while len(queue):
+        arrival, _, sender, vertex = queue.pop()
         now = arrival
         events += 1
         if delivery[vertex] != inf:
@@ -131,8 +127,7 @@ def indexed_flood(indexed: IndexedGraph, source: int) -> FloodRun:
         parent[vertex] = sender
         for neighbour, weight in zip(neighbour_ids[vertex], neighbour_weights[vertex]):
             if neighbour != sender:
-                push(heap, (arrival + weight, sequence, vertex, neighbour))
-                sequence += 1
+                queue.push(arrival + weight, vertex, neighbour)
                 messages += 1
                 cost += weight
 

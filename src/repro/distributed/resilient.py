@@ -41,6 +41,7 @@ from typing import Optional
 
 from repro.distributed.engine import indexed_overlay
 from repro.distributed.faults import FaultPlan
+from repro.graph.heap import EventQueue
 from repro.graph.weighted_graph import Vertex, WeightedGraph
 
 _DATA = "data"
@@ -121,20 +122,15 @@ def _resilient_reference(
     overlay: WeightedGraph, source: Vertex, plan: FaultPlan, params: ResilientParams
 ) -> ResilientResult:
     """The hardened flood on the dict graph — the oracle engine."""
-    import heapq
-
     stats = ResilientStatistics()
     delivery: dict[Vertex, float] = {source: 0.0}
     parent: dict[Vertex, Optional[Vertex]] = {source: None}
     attempts: dict[tuple[Vertex, Vertex], int] = {}
     acked: set[tuple[Vertex, Vertex]] = set()
 
-    heap: list[tuple[float, int, str, Vertex, Vertex, int]] = []
-    push = heapq.heappush
-    sequence = 0
+    events_queue = EventQueue()
 
     def send_data(u: Vertex, v: Vertex, attempt: int, now: float) -> None:
-        nonlocal sequence
         weight = overlay.weight(u, v)
         stats.messages += 1
         stats.data_sends += 1
@@ -149,15 +145,13 @@ def _resilient_reference(
         )
         if lost:
             stats.messages_lost += 1
+            events_queue.drop()
         else:
-            push(heap, (arrival, sequence, _DATA, u, v, attempt))
-        sequence += 1
+            events_queue.push(arrival, _DATA, u, v, attempt)
         timeout = now + params.timeout_scale * 2.0 * weight * params.backoff**attempt
-        push(heap, (timeout, sequence, _TIMER, u, v, attempt))
-        sequence += 1
+        events_queue.push(timeout, _TIMER, u, v, attempt)
 
     def send_ack(v: Vertex, u: Vertex, attempt: int, now: float) -> None:
-        nonlocal sequence
         weight = overlay.weight(v, u)
         stats.messages += 1
         stats.acks += 1
@@ -170,9 +164,9 @@ def _resilient_reference(
         )
         if lost:
             stats.messages_lost += 1
+            events_queue.drop()
         else:
-            push(heap, (arrival, sequence, _ACK, v, u, attempt))
-        sequence += 1
+            events_queue.push(arrival, _ACK, v, u, attempt)
 
     def start_links(vertex: Vertex, exclude: Optional[Vertex], now: float) -> None:
         for neighbour, _ in overlay.incident(vertex):
@@ -183,8 +177,8 @@ def _resilient_reference(
     start_links(source, None, 0.0)
 
     now = 0.0
-    while heap:
-        now, _, kind, a, b, attempt = heapq.heappop(heap)
+    while len(events_queue):
+        now, _, kind, a, b, attempt = events_queue.pop()
         stats.events += 1
         if kind == _DATA:
             # DATA from a arriving at b (liveness already decided at send).
@@ -225,8 +219,6 @@ def _resilient_indexed(
     which must see the canonical vertex labels and therefore go through the
     interned label list.
     """
-    import heapq
-
     indexed = indexed_overlay(overlay)
     neighbour_ids, neighbour_weights = indexed.adjacency_arrays()
     n = indexed.number_of_vertices
@@ -250,12 +242,9 @@ def _resilient_indexed(
     attempts: dict[int, int] = {}
     acked: set[int] = set()
 
-    heap: list[tuple[float, int, str, int, int, int]] = []
-    push = heapq.heappush
-    sequence = 0
+    events_queue = EventQueue()
 
     def send_data(u: int, v: int, weight: float, attempt: int, now: float) -> None:
-        nonlocal sequence
         stats.messages += 1
         stats.data_sends += 1
         stats.cost += weight
@@ -269,15 +258,13 @@ def _resilient_indexed(
         )
         if lost:
             stats.messages_lost += 1
+            events_queue.drop()
         else:
-            push(heap, (arrival, sequence, _DATA, u, v, attempt))
-        sequence += 1
+            events_queue.push(arrival, _DATA, u, v, attempt)
         timeout = now + params.timeout_scale * 2.0 * weight * params.backoff**attempt
-        push(heap, (timeout, sequence, _TIMER, u, v, attempt))
-        sequence += 1
+        events_queue.push(timeout, _TIMER, u, v, attempt)
 
     def send_ack(v: int, u: int, attempt: int, now: float) -> None:
-        nonlocal sequence
         weight = indexed.weight_ids(v, u)
         stats.messages += 1
         stats.acks += 1
@@ -290,9 +277,9 @@ def _resilient_indexed(
         )
         if lost:
             stats.messages_lost += 1
+            events_queue.drop()
         else:
-            push(heap, (arrival, sequence, _ACK, v, u, attempt))
-        sequence += 1
+            events_queue.push(arrival, _ACK, v, u, attempt)
 
     def start_links(vertex: int, exclude: int, now: float) -> None:
         for neighbour, weight in zip(neighbour_ids[vertex], neighbour_weights[vertex]):
@@ -303,8 +290,8 @@ def _resilient_indexed(
     start_links(source_id, -1, 0.0)
 
     now = 0.0
-    while heap:
-        now, _, kind, a, b, attempt = heapq.heappop(heap)
+    while len(events_queue):
+        now, _, kind, a, b, attempt = events_queue.pop()
         stats.events += 1
         if kind == _DATA:
             if delivery[b] != inf:

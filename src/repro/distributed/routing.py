@@ -49,6 +49,7 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from repro.core.query_engine import QueryEngine
 from repro.errors import DisconnectedGraphError
 from repro.distributed.engine import indexed_overlay
 from repro.graph.shortest_paths import dijkstra, indexed_sssp, pair_distance
@@ -128,6 +129,7 @@ class RoutingScheme:
         #: ``overlay_route_settles`` operation count).
         self.build_settles = 0
         self._indexed = indexed_overlay(overlay)
+        self._query_engine: Optional[QueryEngine] = None
         self._check_connected()
         if destinations is None:
             destinations = list(overlay.vertices())
@@ -262,6 +264,30 @@ class RoutingScheme:
             if safety < 0:
                 raise RuntimeError("routing loop detected (corrupted tables)")
         return Route(path=tuple(path), weight=weight)
+
+    @property
+    def query_engine(self) -> QueryEngine:
+        """The scheme's batched distance engine over the indexed overlay.
+
+        Built lazily on first use and shared across batches: one
+        preallocated heap with generation-stamped reset, one search per
+        distinct source (see :class:`repro.core.query_engine.QueryEngine`).
+        """
+        if self._query_engine is None:
+            self._query_engine = QueryEngine(self._indexed)
+        return self._query_engine
+
+    def run_queries(
+        self, sources: Sequence[Vertex], targets: Sequence[Vertex]
+    ) -> list[float]:
+        """Answer the paired overlay-distance queries ``(sources[i], targets[i])``.
+
+        Exact shortest-path distances *in the overlay*, independent of which
+        table rows were built — demand sets can be measured without paying
+        one table row per destination.  Distances match :meth:`route`
+        weights on routed pairs (both are overlay shortest paths).
+        """
+        return self.query_engine.run_queries(sources, targets)
 
     def table_distance(self, vertex: Vertex, destination: Vertex) -> float:
         """The table's shortest-path distance from ``vertex`` to ``destination``.

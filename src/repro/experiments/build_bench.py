@@ -149,6 +149,16 @@ def _build_presets() -> dict[str, tuple[dict[str, object], tuple[str, ...], bool
         (euclidean_build_workload(n=150, stretch=1.5), DEFAULT_STRATEGIES, False),
         (bucketed_workload(n=20000, degree=96.0), DEFAULT_STRATEGIES, False),
         (bucketed_workload(n=100000, degree=96.0), DEFAULT_STRATEGIES, True),
+        # The stretch row toward n = 10⁶: per-edge and fan-out baselines are
+        # dropped (the edge-list path alone would cost the better part of an
+        # hour) so the row stays regenerable inside one offline bench budget;
+        # builds_match still cross-checks the CSR path against the serial
+        # builder edge-for-edge.
+        (
+            bucketed_workload(n=500000, degree=16.0),
+            ("greedy-serial", "csr-parallel-w1"),
+            False,
+        ),
     )
     return {workload_key(w): (w, strategies, gated) for w, strategies, gated in rows}
 

@@ -9,6 +9,7 @@ helpers.
 from repro.graph.weighted_graph import WeightedGraph
 from repro.graph.indexed_graph import IndexedGraph
 from repro.graph.csr import CSRAdjacency, SharedCSRDescriptor, attach_csr, share_csr
+from repro.graph.heap import DaryHeap, EventQueue, IndexedDaryHeap, merge_sorted_runs
 from repro.graph.shortest_paths import (
     all_pairs_distances,
     csr_bidirectional_cutoff,
@@ -51,6 +52,10 @@ __all__ = [
     "SharedCSRDescriptor",
     "attach_csr",
     "share_csr",
+    "DaryHeap",
+    "EventQueue",
+    "IndexedDaryHeap",
+    "merge_sorted_runs",
     "all_pairs_distances",
     "csr_bidirectional_cutoff",
     "csr_bounded_search",

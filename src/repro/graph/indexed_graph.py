@@ -28,7 +28,7 @@ strategies ``"bidirectional"`` and ``"cached"`` of
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable, Iterator, Mapping
 from typing import Optional
 
 from repro.errors import SelfLoopError
@@ -110,6 +110,17 @@ class IndexedGraph:
     def id_of(self, vertex: Vertex) -> int:
         """Return the id of ``vertex``; raise :class:`KeyError` if unknown."""
         return self._id_of[vertex]
+
+    def id_map(self) -> Mapping[Vertex, int]:
+        """The live vertex → id mapping, for bulk read-only lookups.
+
+        Hot loops that translate millions of already-interned vertices (the
+        band filter's first pass) bind this once and subscript it directly —
+        a plain dict access instead of a method call per edge endpoint.
+        Callers must not mutate it; use :meth:`intern` / :meth:`add_vertices`
+        to assign ids.
+        """
+        return self._id_of
 
     def vertex_of(self, vid: int) -> Vertex:
         """Return the vertex object interned at ``vid``."""

@@ -200,14 +200,18 @@ class WeightedGraph:
         return iter(self._adjacency)
 
     def edges(self) -> Iterator[WeightedEdge]:
-        """Iterate over edges as ``(u, v, weight)``, each undirected edge once."""
-        seen: set[Edge] = set()
-        for u, nbrs in self._adjacency.items():
+        """Iterate over edges as ``(u, v, weight)``, each undirected edge once.
+
+        Dedup is by insertion rank instead of a seen-pair set: an edge is
+        yielded from the endpoint that was added to the graph first, which
+        is exactly when the old ``(v, u) in seen`` test passed — same yield
+        sequence, but no per-edge tuple allocation or set churn.
+        """
+        rank = {v: i for i, v in enumerate(self._adjacency)}
+        for iu, (u, nbrs) in enumerate(self._adjacency.items()):
             for v, weight in nbrs.items():
-                if (v, u) in seen:
-                    continue
-                seen.add((u, v))
-                yield (u, v, weight)
+                if rank[v] >= iu:
+                    yield (u, v, weight)
 
     def edges_sorted_by_weight(self) -> list[WeightedEdge]:
         """Return the edges sorted by non-decreasing weight.

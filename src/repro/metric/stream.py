@@ -29,12 +29,16 @@ materialized one — while buffering only ``O(buffer)`` pairs at a time:
    memory of ``O(buffer)`` instead of ``Θ(n²)``.
 
 3. **Heap merge.**  Within a band, each row contributes its in-band pairs as
-   one run sorted by the canonical key ``(weight, repr(u), repr(v))``;
-   ``heapq.merge`` (which is stable) interleaves the runs.  A stable merge
-   of stable-sorted runs listed in generation order reproduces exactly the
+   one run sorted by the canonical key ``(weight, repr(u), repr(v))``; a
+   stable k-way merge interleaves the runs.  A stable merge of
+   stable-sorted runs listed in generation order reproduces exactly the
    stable sort that ``edges_sorted_by_weight`` performs, and bands are
    disjoint weight intervals, so equal weights never straddle a band
    boundary: the concatenated band outputs are the materialized order.
+   The merge runs on the d-ary heap core
+   (:func:`repro.graph.heap.merge_sorted_runs`, whose output order is
+   provably identical to the stable ``heapq.merge``); ``merge_mode="heapq"``
+   keeps the seed path as the reference twin for the equivalence tests.
 
 Degenerate weight distributions (e.g. every pair at the same distance)
 collapse into a single band and temporarily buffer that band's pairs — the
@@ -50,6 +54,7 @@ from typing import Iterator, Optional, Sequence
 import numpy as np
 
 from repro.errors import EmptyMetricError, InvalidWeightError, MetricAxiomError
+from repro.graph.heap import merge_sorted_runs
 from repro.metric.base import FiniteMetric, Point
 
 #: ``(u, v, weight)`` triples, oriented with ``u`` before ``v`` in point order.
@@ -227,7 +232,10 @@ def _band_runs(
 
 
 def sorted_pair_stream(
-    metric: FiniteMetric, *, max_buffer: Optional[int] = None
+    metric: FiniteMetric,
+    *,
+    max_buffer: Optional[int] = None,
+    merge_mode: str = "dary",
 ) -> Iterator[PairTriple]:
     """Yield all pairs of ``metric`` in the exact ``edges_sorted_by_weight`` order.
 
@@ -248,7 +256,16 @@ def sorted_pair_stream(
         Soft cap on pairs buffered at once (default ``max(65536, 32·n)``).
         Smaller values lower peak memory at the cost of extra recomputation
         sweeps; tests use tiny values to force multi-band runs.
+    merge_mode:
+        ``"dary"`` (default) merges the per-row runs on the d-ary heap
+        core; ``"heapq"`` keeps the seed :func:`heapq.merge` path.  Both
+        are stable with ties breaking toward the earlier run, so the
+        output order is identical — the stream equivalence tests assert it.
     """
+    if merge_mode not in ("dary", "heapq"):
+        raise ValueError(
+            f"unknown merge mode {merge_mode!r} (expected 'dary' or 'heapq')"
+        )
     n = len(metric.point_tuple)
     if n == 0:
         raise EmptyMetricError("cannot stream the pairs of an empty metric")
@@ -270,11 +287,13 @@ def sorted_pair_stream(
             continue
         if len(runs) == 1:
             yield from runs[0]
-        else:
+        elif merge_mode == "heapq":
             yield from heapq.merge(*runs, key=pair_sort_key)
+        else:
+            yield from merge_sorted_runs(runs, key=pair_sort_key)
 
 
-def stream_is_order_identical(metric: FiniteMetric, **kwargs: int) -> bool:
+def stream_is_order_identical(metric: FiniteMetric, **kwargs: object) -> bool:
     """Cross-check helper: does the stream equal the materialized sorted edges?
 
     Materializes the complete graph, so only suitable for tests and small

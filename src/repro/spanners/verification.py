@@ -60,12 +60,21 @@ from repro.graph.shortest_paths import (
 from repro.graph.weighted_graph import Vertex, WeightedGraph
 
 _MODES = ("indexed", "reference")
+_SEARCH_MODES = ("list", "heap")
 
 
 def check_mode(mode: str) -> None:
     """Reject unknown engine modes (shared by every mode-switched checker)."""
     if mode not in _MODES:
         raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+
+
+def check_search_mode(search_mode: str) -> None:
+    """Reject unknown inner-search engines (the ``mode=`` seam of the kernels)."""
+    if search_mode not in _SEARCH_MODES:
+        raise ValueError(
+            f"search_mode must be one of {_SEARCH_MODES}, got {search_mode!r}"
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -90,9 +99,18 @@ class VerificationEngine:
         "metric",
         "base_indexed",
         "sub_indexed",
+        "search_mode",
     )
 
-    def __init__(self, base: WeightedGraph, subgraph: WeightedGraph) -> None:
+    def __init__(
+        self,
+        base: WeightedGraph,
+        subgraph: WeightedGraph,
+        *,
+        search_mode: str = "list",
+    ) -> None:
+        check_search_mode(search_mode)
+        self.search_mode = search_mode
         self.base = base
         self.subgraph = subgraph
         self.vertices: list[Vertex] = list(base.vertices())
@@ -131,12 +149,12 @@ class VerificationEngine:
                     count=self.n,
                 )
             return row, 0
-        dist, _, settles = indexed_sssp(self.base_indexed, source_id)
+        dist, _, settles = indexed_sssp(self.base_indexed, source_id, mode=self.search_mode)
         return np.asarray(dist, dtype=float), settles
 
     def sub_row(self, source_id: int) -> tuple[np.ndarray, int]:
         """Return ``(distances in the subgraph, settles)`` via one indexed SSSP."""
-        dist, _, settles = indexed_sssp(self.sub_indexed, source_id)
+        dist, _, settles = indexed_sssp(self.sub_indexed, source_id, mode=self.search_mode)
         return np.asarray(dist, dtype=float), settles
 
     # -- grouped base edges ---------------------------------------------
@@ -305,7 +323,9 @@ def _verify_one_source(
 ) -> tuple[bool, int]:
     """Check one source's grouped base edges with a single bounded ball."""
     cutoff = max(t * weight * (1.0 + tolerance) for weight in weights)
-    settled = indexed_ball(engine.sub_indexed, source_id, cutoff)
+    settled = indexed_ball(
+        engine.sub_indexed, source_id, cutoff, mode=engine.search_mode
+    )
     inf = math.inf
     for target, weight in zip(targets, weights):
         if settled.get(target, inf) > t * weight * (1.0 + tolerance):
@@ -343,12 +363,20 @@ def verify_spanner_edges(
     *,
     tolerance: float = 1e-9,
     mode: str = "indexed",
+    search_mode: str = "list",
     workers: Optional[int] = None,
     engine: Optional[VerificationEngine] = None,
 ) -> bool:
     """Return True if ``subgraph`` stretches no base edge by more than ``t``."""
     return verify_spanner_edges_detailed(
-        subgraph, base, t, tolerance=tolerance, mode=mode, workers=workers, engine=engine
+        subgraph,
+        base,
+        t,
+        tolerance=tolerance,
+        mode=mode,
+        search_mode=search_mode,
+        workers=workers,
+        engine=engine,
     ).ok
 
 
@@ -359,15 +387,20 @@ def verify_spanner_edges_detailed(
     *,
     tolerance: float = 1e-9,
     mode: str = "indexed",
+    search_mode: str = "list",
     workers: Optional[int] = None,
     engine: Optional[VerificationEngine] = None,
 ) -> EdgeVerification:
-    """Edge verification with the operation counts the bench trajectory records."""
+    """Edge verification with the operation counts the bench trajectory records.
+
+    ``search_mode`` selects the indexed engine's inner-search kernel
+    (``"list"`` or ``"heap"``); a prebuilt ``engine`` keeps its own setting.
+    """
     check_mode(mode)
     if mode == "reference":
         return _verify_edges_reference(subgraph, base, t, tolerance)
     if engine is None:
-        engine = VerificationEngine(base, subgraph)
+        engine = VerificationEngine(base, subgraph, search_mode=search_mode)
     return _verify_edges_indexed(engine, t, tolerance, workers)
 
 
@@ -499,6 +532,7 @@ def verify_spanner_sampled(
     seed: Optional[int] = None,
     tolerance: float = 1e-9,
     mode: str = "indexed",
+    search_mode: str = "list",
     engine: Optional[VerificationEngine] = None,
 ) -> bool:
     """Spot-check the stretch guarantee on ``samples`` random vertex pairs.
@@ -533,7 +567,7 @@ def verify_spanner_sampled(
         return True
 
     if engine is None:
-        engine = VerificationEngine(spanner.base, spanner.subgraph)
+        engine = VerificationEngine(spanner.base, spanner.subgraph, search_mode=search_mode)
     distances, _, _ = _sampled_pair_distances(engine, pairs)
     return all(
         sub_distance <= threshold * base_distance
@@ -551,6 +585,7 @@ def stretch_profile(
     samples: int = 500,
     seed: Optional[int] = None,
     mode: str = "indexed",
+    search_mode: str = "list",
     workers: Optional[int] = None,
     sources: Optional[Sequence[Vertex]] = None,
     engine: Optional[VerificationEngine] = None,
@@ -570,6 +605,7 @@ def stretch_profile(
         samples=samples,
         seed=seed,
         mode=mode,
+        search_mode=search_mode,
         workers=workers,
         sources=sources,
         engine=engine,
@@ -584,6 +620,7 @@ def stretch_profile_detailed(
     samples: int = 500,
     seed: Optional[int] = None,
     mode: str = "indexed",
+    search_mode: str = "list",
     workers: Optional[int] = None,
     sources: Optional[Sequence[Vertex]] = None,
     engine: Optional[VerificationEngine] = None,
@@ -591,11 +628,11 @@ def stretch_profile_detailed(
     """:func:`stretch_profile` plus the engine's operation counts."""
     check_mode(mode)
     if not exact:
-        return _profile_sampled(spanner, samples, seed, mode, engine)
+        return _profile_sampled(spanner, samples, seed, mode, engine, search_mode)
     if mode == "reference":
         return _profile_exact_reference(spanner, sources)
     if engine is None:
-        engine = VerificationEngine(spanner.base, spanner.subgraph)
+        engine = VerificationEngine(spanner.base, spanner.subgraph, search_mode=search_mode)
     if sources is None:
         source_ids = list(range(engine.n))
     else:
@@ -673,6 +710,7 @@ def _profile_sampled(
     seed: Optional[int],
     mode: str,
     engine: Optional[VerificationEngine],
+    search_mode: str = "list",
 ) -> tuple[StretchProfile, ProfileStats]:
     """Sampled profile; the indexed mode caches one SSSP row per sampled source."""
     rng = random.Random(seed)
@@ -693,7 +731,7 @@ def _profile_sampled(
         return _profile_from_samples(stretches), ProfileStats(sources=samples, settles=0)
 
     if engine is None:
-        engine = VerificationEngine(spanner.base, spanner.subgraph)
+        engine = VerificationEngine(spanner.base, spanner.subgraph, search_mode=search_mode)
     pairs = [tuple(rng.sample(vertices, 2)) for _ in range(samples)]
     distances, sources, settles = _sampled_pair_distances(engine, pairs)
     stretches = [sub_distance / base_distance for base_distance, sub_distance in distances]

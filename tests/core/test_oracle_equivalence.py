@@ -48,6 +48,18 @@ class TestIdenticalSpanners:
             spanner = greedy_spanner_of_metric(metric, stretch, oracle=name)
             assert spanner.subgraph.same_edges(reference.subgraph), name
 
+    @pytest.mark.parametrize("seed", [3, 29])
+    @pytest.mark.parametrize("oracle", FAST_STRATEGIES)
+    def test_heap_search_mode_identical(self, seed, oracle):
+        """``search_mode="heap"`` reproduces the list-mode spanner *and* every
+        deterministic counter — the d-ary twins claim identical settle
+        sequences, so cache hits and settle counts may not move either."""
+        graph = random_connected_graph(40, 0.2, seed=seed)
+        list_mode = greedy_spanner(graph, 2.0, oracle=oracle, search_mode="list")
+        heap_mode = greedy_spanner(graph, 2.0, oracle=oracle, search_mode="heap")
+        assert heap_mode.subgraph.same_edges(list_mode.subgraph)
+        assert heap_mode.metadata == list_mode.metadata
+
     def test_higher_dimension_metric(self):
         metric = uniform_points(30, 3, seed=23)
         reference = greedy_spanner_of_metric(metric, 1.5, oracle="bounded")

@@ -70,6 +70,22 @@ class TestGraphPath:
                 continue
             assert two.metadata[field] == value, field
 
+    def test_search_mode_heap_builds_identically(self, geometric_instance):
+        """The d-ary decrease-key kernels reproduce the list-mode build exactly.
+
+        Edge set *and* every deterministic counter must match — the heap
+        twins claim identical settle orders, so filter settles, replay
+        settles, cache hits and candidates may not move by even one.
+        """
+        list_mode = parallel_greedy_spanner(
+            geometric_instance, 2.0, workers=1, search_mode="list"
+        )
+        heap_mode = parallel_greedy_spanner(
+            geometric_instance, 2.0, workers=1, search_mode="heap"
+        )
+        assert canonical_edges(list_mode) == canonical_edges(heap_mode)
+        assert list_mode.metadata == heap_mode.metadata
+
     def test_metadata_counters_present(self, geometric_instance):
         parallel = parallel_greedy_spanner(geometric_instance, 2.0, workers=1)
         for counter in (

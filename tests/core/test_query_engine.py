@@ -1,0 +1,220 @@
+"""Property and unit tests for the batched multi-source query engine.
+
+The engine's contract is exact: batched answers equal the seed per-query
+``heapq`` path element for element (same floats, not approximately), while
+grouping queries by source and reusing one generation-stamped heap.  The
+hypothesis cases draw tie-heavy dyadic weights — where pop ordering could
+actually diverge — plus disconnected graphs (``inf`` answers), repeated
+sources and degenerate ``source == target`` pairs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.distance_oracle import make_oracle
+from repro.core.greedy import greedy_spanner
+from repro.core.query_engine import (
+    QueryEngine,
+    reference_queries,
+    reference_queries_ids,
+)
+from repro.distributed.routing import RoutingScheme
+from repro.errors import VertexNotFoundError
+from repro.graph.indexed_graph import IndexedGraph
+from repro.graph.weighted_graph import WeightedGraph
+
+TIE_HEAVY_WEIGHTS = (0.5, 1.0, 1.5, 2.0)
+
+
+@st.composite
+def graph_with_queries(draw, max_vertices: int = 14, max_queries: int = 30):
+    """A small graph (possibly disconnected) plus a paired query batch."""
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    connected = draw(st.booleans())
+    graph = WeightedGraph(vertices=list(range(n)))
+    start = 1 if connected else draw(st.integers(min_value=1, max_value=n - 1))
+    for v in range(start, n):
+        if connected or v > start:
+            parent = draw(st.integers(min_value=0, max_value=v - 1))
+            graph.add_edge(parent, v, draw(st.sampled_from(TIE_HEAVY_WEIGHTS)))
+    extra = draw(st.integers(min_value=0, max_value=2 * n))
+    for _ in range(extra):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v, draw(st.sampled_from(TIE_HEAVY_WEIGHTS)))
+    count = draw(st.integers(min_value=0, max_value=max_queries))
+    vertex = st.integers(min_value=0, max_value=n - 1)
+    sources = [draw(vertex) for _ in range(count)]
+    targets = [draw(vertex) for _ in range(count)]
+    return graph, sources, targets
+
+
+@settings(max_examples=120, deadline=None)
+@given(case=graph_with_queries())
+def test_batched_answers_equal_reference_exactly(case):
+    """Element-for-element float equality against the per-query heapq path."""
+    graph, sources, targets = case
+    engine = QueryEngine(graph)
+    got = engine.run_queries(sources, targets)
+    want, _ = reference_queries(engine.indexed, sources, targets)
+    assert got == want
+    assert engine.query_count == len(sources)
+    assert engine.batch_count == 1
+    distinct = {s for s, t in zip(sources, targets) if s != t}
+    assert engine.source_count == len(distinct)
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=graph_with_queries())
+def test_single_target_batches_settle_exactly_like_reference(case):
+    """With one query per distinct source, both paths settle identically.
+
+    The engine early-stops when its last target settles; with a single
+    target that is the reference's stopping rule too, and neither loop pops
+    a stale entry into its counter — so the settle counters must agree
+    exactly, not just approximately.
+    """
+    graph, sources, _ = case
+    distinct = list(dict.fromkeys(sources))
+    targets = [(s + 1) % graph.number_of_vertices for s in distinct]
+    engine = QueryEngine(graph)
+    engine.run_queries(distinct, targets)
+    _, ref_settles = reference_queries(engine.indexed, distinct, targets)
+    assert engine.settled_count == ref_settles
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=graph_with_queries())
+def test_batches_are_independent(case):
+    """Re-running the same batch gives the same answers: no cross-batch residue.
+
+    This is the generational-reset law at the engine level — one heap
+    serves every batch, and nothing a previous search stamped may leak into
+    the next one's distances.
+    """
+    graph, sources, targets = case
+    engine = QueryEngine(graph)
+    first = engine.run_queries(sources, targets)
+    second = engine.run_queries(sources, targets)
+    assert first == second
+    assert engine.batch_count == 2
+
+
+def test_same_source_batch_runs_one_search():
+    """q queries from one source cost one search, answered at settle time."""
+    graph = WeightedGraph()
+    for v in range(1, 50):
+        graph.add_edge(v - 1, v, 1.0)
+    engine = QueryEngine(graph)
+    sources = [0] * 20
+    targets = list(range(20, 40))
+    got = engine.run_queries(sources, targets)
+    assert got == [float(t) for t in targets]
+    assert engine.source_count == 1
+    # Early stop: nothing past the furthest target (id 39) was settled.
+    assert engine.settled_count <= 40
+
+
+def test_trivial_and_unreachable_queries():
+    graph = WeightedGraph(vertices=[0, 1, 2, 3])
+    graph.add_edge(0, 1, 1.0)
+    graph.add_edge(2, 3, 1.0)
+    engine = QueryEngine(graph)
+    assert engine.run_queries([0, 0, 1], [0, 2, 3]) == [0.0, math.inf, math.inf]
+    assert engine.distance(0, 1) == 1.0
+
+
+def test_input_validation():
+    graph = WeightedGraph(vertices=[0, 1])
+    graph.add_edge(0, 1, 1.0)
+    engine = QueryEngine(graph)
+    with pytest.raises(ValueError, match="differ in length"):
+        engine.run_queries([0], [0, 1])
+    with pytest.raises(VertexNotFoundError):
+        engine.run_queries([0], ["missing"])
+    with pytest.raises(VertexNotFoundError):
+        engine.run_queries_ids([0], [99])
+
+
+def test_engine_observes_growing_shared_graph():
+    """Edges and vertices appended to a shared IndexedGraph are served."""
+    indexed = IndexedGraph(vertices=[0, 1])
+    indexed.append_edge_unchecked(0, 1, 1.0)
+    engine = QueryEngine(indexed)
+    assert engine.run_queries_ids([0], [1]) == [1.0]
+    # A shortcut edge appended later must be observed (live adjacency)...
+    indexed.append_edge_unchecked(0, 1, 0.5)
+    assert engine.run_queries_ids([0], [1]) == [0.5]
+    # ...and newly interned vertices regrow the heap capacity lazily.
+    indexed.add_edge(1, 2, 1.0)
+    assert engine.run_queries_ids([0], [2]) == [1.5]
+
+
+def test_counters_shape():
+    graph = WeightedGraph(vertices=[0, 1])
+    graph.add_edge(0, 1, 1.0)
+    engine = QueryEngine(graph)
+    engine.run_queries([0], [1])
+    counters = engine.counters()
+    assert counters["engine_queries"] == 1.0
+    assert counters["engine_batches"] == 1.0
+    assert counters["engine_sources"] == 1.0
+    assert counters["engine_settles"] >= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Exposure: oracle and routing scheme
+# ---------------------------------------------------------------------------
+def _ladder(n: int = 30) -> WeightedGraph:
+    graph = WeightedGraph()
+    for v in range(1, n):
+        graph.add_edge(v - 1, v, 1.0)
+        if v >= 2:
+            graph.add_edge(v - 2, v, 1.5)
+    return graph
+
+
+def test_oracle_run_queries_matches_reference_and_counts():
+    spanner = greedy_spanner(_ladder(), 2.0)
+    oracle = make_oracle("cached", spanner.subgraph)
+    sources = [0, 0, 5, 20, 7]
+    targets = [29, 10, 5, 3, 7]
+    queries_before = oracle.query_count
+    got = oracle.run_queries(sources, targets)
+    want, _ = reference_queries(oracle.query_engine.indexed, sources, targets)
+    assert got == want
+    assert oracle.query_count == queries_before + len(sources)
+    assert oracle.settled_count > 0
+    # The engine is shared across batches, not rebuilt per call.
+    assert oracle.query_engine is oracle.query_engine
+
+
+def test_oracle_run_queries_sees_notified_edges():
+    """Batched answers reflect edges added through the greedy notify hook."""
+    graph = WeightedGraph(vertices=[0, 1, 2])
+    graph.add_edge(0, 1, 1.0)
+    graph.add_edge(1, 2, 1.0)
+    oracle = make_oracle("cached", graph)
+    assert oracle.run_queries([0], [2]) == [2.0]
+    graph.add_edge(0, 2, 0.5)
+    oracle.notify_edge_added(0, 2, 0.5)
+    assert oracle.run_queries([0], [2]) == [0.5]
+
+
+def test_routing_scheme_run_queries():
+    overlay = _ladder()
+    scheme = RoutingScheme(overlay, destinations=[0])
+    sources = [0, 3, 10, 29, 4]
+    targets = [29, 3, 0, 1, 27]
+    got = scheme.run_queries(sources, targets)
+    want, _ = reference_queries(scheme.query_engine.indexed, sources, targets)
+    assert got == want
+    # Routed weight equals the batched overlay distance on routed pairs.
+    full_scheme = RoutingScheme(overlay)
+    for source, target, distance in zip(sources, targets, got):
+        assert full_scheme.route(source, target).weight == pytest.approx(distance)

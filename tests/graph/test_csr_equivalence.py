@@ -1,7 +1,8 @@
-"""Hypothesis property tests: ``mode="csr"`` equals ``mode="list"``, bit for bit.
+"""Hypothesis property tests: ``mode="csr"``/``mode="heap"`` equal ``mode="list"``, bit for bit.
 
-The CSR port of the indexed searches (:mod:`repro.graph.shortest_paths`)
-claims to be *bit-identical* to the list-adjacency loops: same distances,
+The CSR and d-ary-heap ports of the indexed searches
+(:mod:`repro.graph.shortest_paths`) claim to be *bit-identical* to the
+list-adjacency loops: same distances,
 same settled maps — contents **and** insertion order — and therefore the
 same operation counts.  The argument is that both loops push the same
 (dist, vertex) multiset in the same order with IEEE-identical float64 sums,
@@ -74,28 +75,30 @@ def search_cases(draw):
     return graph, source, target, cutoff
 
 
+@pytest.mark.parametrize("other_mode", ["csr", "heap"])
 @settings(max_examples=80, deadline=None)
-@given(search_cases())
-def test_bounded_single_pair_identical(case):
+@given(case=search_cases())
+def test_bounded_single_pair_identical(other_mode, case):
     """Bounded cutoff search: distance and settled map (order included) match."""
     graph, source, target, cutoff = case
     list_dist, list_settled = indexed_dijkstra_with_cutoff(
         graph, source, target, cutoff, mode="list"
     )
     csr_dist, csr_settled = indexed_dijkstra_with_cutoff(
-        graph, source, target, cutoff, mode="csr"
+        graph, source, target, cutoff, mode=other_mode
     )
     assert list_dist == csr_dist or (math.isinf(list_dist) and math.isinf(csr_dist))
     assert list(list_settled.items()) == list(csr_settled.items())
 
 
+@pytest.mark.parametrize("other_mode", ["csr", "heap"])
 @settings(max_examples=80, deadline=None)
-@given(search_cases())
-def test_bidirectional_cutoff_identical(case):
+@given(case=search_cases())
+def test_bidirectional_cutoff_identical(other_mode, case):
     """Meet-in-the-middle search: distance and both settled maps match."""
     graph, source, target, cutoff = case
     list_result = indexed_bidirectional_cutoff(graph, source, target, cutoff, mode="list")
-    csr_result = indexed_bidirectional_cutoff(graph, source, target, cutoff, mode="csr")
+    csr_result = indexed_bidirectional_cutoff(graph, source, target, cutoff, mode=other_mode)
     assert list_result[1] == csr_result[1]
     assert list_result[2] == csr_result[2]
     if math.isinf(list_result[0]):
@@ -104,19 +107,21 @@ def test_bidirectional_cutoff_identical(case):
         assert list_result[0] == csr_result[0]
 
 
+@pytest.mark.parametrize("other_mode", ["csr", "heap"])
 @settings(max_examples=60, deadline=None)
-@given(search_cases())
-def test_ball_identical(case):
+@given(case=search_cases())
+def test_ball_identical(other_mode, case):
     """Radius-bounded ball harvest: identical contents and insertion order."""
     graph, source, _, radius = case
     list_ball = indexed_ball(graph, source, radius, mode="list")
-    csr_ball = indexed_ball(graph, source, radius, mode="csr")
+    csr_ball = indexed_ball(graph, source, radius, mode=other_mode)
     assert list(list_ball.items()) == list(csr_ball.items())
 
 
+@pytest.mark.parametrize("other_mode", ["csr", "heap"])
 @settings(max_examples=60, deadline=None)
-@given(search_cases(), st.integers(min_value=0, max_value=10**6))
-def test_excluded_edge_search_identical(case, edge_seed):
+@given(case=search_cases(), edge_seed=st.integers(min_value=0, max_value=10**6))
+def test_excluded_edge_search_identical(other_mode, case, edge_seed):
     """Deleted-edge bounded search: distance and settle count match."""
     graph, source, target, cutoff = case
     edges = list(graph.edges())
@@ -125,7 +130,7 @@ def test_excluded_edge_search_identical(case, edge_seed):
         graph, source, target, cutoff, excluded=(uid, vid), mode="list"
     )
     csr_result = indexed_cutoff_excluding_edge(
-        graph, source, target, cutoff, excluded=(uid, vid), mode="csr"
+        graph, source, target, cutoff, excluded=(uid, vid), mode=other_mode
     )
     assert list_result == csr_result or (
         math.isinf(list_result[0])
@@ -134,13 +139,14 @@ def test_excluded_edge_search_identical(case, edge_seed):
     )
 
 
+@pytest.mark.parametrize("other_mode", ["csr", "heap"])
 @settings(max_examples=60, deadline=None)
-@given(connected_indexed_graphs(), st.integers(min_value=0, max_value=10**6))
-def test_sssp_identical(graph, source_seed):
+@given(graph=connected_indexed_graphs(), source_seed=st.integers(min_value=0, max_value=10**6))
+def test_sssp_identical(other_mode, graph, source_seed):
     """Full SSSP sweep: dist, parent and the stale-inclusive settle count match."""
     source = source_seed % graph.number_of_vertices
     list_dist, list_parent, list_settles = indexed_sssp(graph, source, mode="list")
-    csr_dist, csr_parent, csr_settles = indexed_sssp(graph, source, mode="csr")
+    csr_dist, csr_parent, csr_settles = indexed_sssp(graph, source, mode=other_mode)
     assert list_dist == csr_dist
     assert list_parent == csr_parent
     assert list_settles == csr_settles
